@@ -1,0 +1,156 @@
+// Command qbench regenerates every table and figure of the QMatch paper's
+// evaluation (§5) from this repository's implementation.
+//
+// Usage:
+//
+//	qbench                 # run everything
+//	qbench -table 1        # Table 1: schema characteristics
+//	qbench -table 2        # Table 2: axis-weight sweep
+//	qbench -figure 4       # Figure 4: runtime of the three algorithms
+//	qbench -figure 5       # Figure 5: Overall quality per domain
+//	qbench -figure 6       # Figure 6: manual vs found match counts
+//	qbench -figure 9       # Figure 9: structure-only extreme case
+//	qbench -ext scalability   # extension: runtime vs synthetic size
+//	qbench -ext robustness    # extension: quality vs perturbation
+//	qbench -ext ablation      # extension: label-gate + selection ablations
+//	qbench -ext composite     # extension: QMatch vs CUPID vs composite
+//	qbench -ext instances     # extension: instance evidence under renames
+//	qbench -reps N         # repetitions for runtime measurements (default 3)
+//	qbench -fast           # skip the slow experiments (Figure 4's protein
+//	                       # workload and the full Table 2 sweep)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"qmatch/internal/bench"
+	"qmatch/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qbench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "regenerate only this table (1 or 2)")
+	figure := fs.Int("figure", 0, "regenerate only this figure (4, 5, 6 or 9)")
+	ext := fs.String("ext", "", "extension experiment: scalability, robustness or ablation")
+	reps := fs.Int("reps", 3, "repetitions for runtime measurements")
+	fast := fs.Bool("fast", false, "skip the slowest experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *ext != "" {
+		switch *ext {
+		case "scalability":
+			sizes := []int{50, 100, 200, 400, 800}
+			if *fast {
+				sizes = sizes[:3]
+			}
+			fmt.Fprint(out, bench.FormatScalability(bench.Scalability(sizes, *reps)))
+		case "robustness":
+			fmt.Fprint(out, bench.FormatRobustness(
+				bench.Robustness(120, []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7})))
+		case "ablation":
+			fmt.Fprint(out, bench.FormatAblation("label-evidence selection gate",
+				bench.AblationLabelGate()))
+			fmt.Fprintln(out)
+			fmt.Fprint(out, bench.FormatAblation("greedy vs optimal (Hungarian) selection",
+				bench.AblationSelection()))
+		case "composite":
+			fmt.Fprint(out, bench.FormatComparison(bench.CompositeComparison()))
+		case "instances":
+			rows, err := bench.InstanceBlend(40, []float64{0, 0.3, 0.6, 1})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, bench.FormatInstanceBlend(rows))
+		default:
+			return fmt.Errorf("unknown extension %q", *ext)
+		}
+		return nil
+	}
+
+	all := *table == 0 && *figure == 0
+	section := func(f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "[%s]\n\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if all || *table == 1 {
+		if err := section(func() error {
+			fmt.Fprint(out, bench.FormatTable1())
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *table == 2 {
+		if err := section(func() error {
+			pairs := []dataset.Pair{dataset.POPair(), dataset.BookPair(), dataset.DCMDPair()}
+			if *fast {
+				pairs = pairs[:2]
+			}
+			fmt.Fprint(out, bench.FormatTable2(bench.Table2WeightSweep(pairs), 10))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *figure == 4 {
+		if err := section(func() error {
+			pairs := dataset.Pairs()
+			if *fast {
+				pairs = pairs[:3] // drop the 3984-element protein workload
+			}
+			fmt.Fprint(out, bench.FormatFigure4(bench.Figure4RuntimeFor(pairs, *reps)))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *figure == 5 {
+		if err := section(func() error {
+			fmt.Fprint(out, bench.FormatFigure5(bench.Figure5Quality()))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *figure == 6 {
+		if err := section(func() error {
+			fmt.Fprint(out, bench.FormatFigure6(bench.Figure6Counts()))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *figure == 9 {
+		if err := section(func() error {
+			fmt.Fprint(out, bench.FormatFigure9(bench.Figure9Extremes()))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if !all && *table != 0 && *table != 1 && *table != 2 {
+		return fmt.Errorf("unknown table %d", *table)
+	}
+	if !all && *figure != 0 && *figure != 4 && *figure != 5 && *figure != 6 && *figure != 9 {
+		return fmt.Errorf("unknown figure %d", *figure)
+	}
+	return nil
+}

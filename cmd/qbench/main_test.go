@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleSections(t *testing.T) {
+	cases := map[string][]string{
+		"Table 1.":  {"-table", "1"},
+		"Figure 6.": {"-figure", "6"},
+		"Figure 9.": {"-figure", "9"},
+	}
+	for want, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("%v: missing %q:\n%s", args, want, out.String())
+		}
+	}
+}
+
+func TestRunFigure4Fast(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-figure", "4", "-fast", "-reps", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 4.") || !strings.Contains(s, "DCMD") {
+		t.Fatalf("output:\n%s", s)
+	}
+	if strings.Contains(s, "Protein") {
+		t.Fatal("-fast should skip the protein workload")
+	}
+}
+
+func TestRunTable2Fast(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "2", "-fast"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 2.") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	cases := map[string][]string{
+		"Extension: runtime":       {"-ext", "scalability", "-fast", "-reps", "1"},
+		"Ablation: label-evidence": {"-ext", "ablation"},
+	}
+	for want, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("%v: missing %q:\n%s", args, want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-table", "7"},
+		{"-figure", "2"},
+		{"-ext", "bogus"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

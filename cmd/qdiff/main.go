@@ -1,0 +1,64 @@
+// Command qdiff compares two versions of a schema and reports how every
+// element evolved — unchanged, renamed, modified, moved, removed or added.
+// The alignment between the versions is computed by the hybrid QMatch
+// matcher, so renames to abbreviations or synonyms are recognized as
+// renames rather than remove+add pairs.
+//
+// Usage:
+//
+//	qdiff [flags] OLD NEW
+//
+// OLD and NEW are schema files: .xsd, .dtd or .xml (inferred).
+//
+// Flags:
+//
+//	-verbose          also list unchanged elements
+//	-thesaurus FILE   merge custom relations (TSV: relation, term-a, term-b)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qmatch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qdiff", flag.ContinueOnError)
+	verbose := fs.Bool("verbose", false, "also list unchanged elements")
+	thesaurusPath := fs.String("thesaurus", "", "file with custom thesaurus relations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly 2 arguments (old, new), got %d", fs.NArg())
+	}
+	oldSchema, err := qmatch.LoadSchema(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("old: %w", err)
+	}
+	newSchema, err := qmatch.LoadSchema(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("new: %w", err)
+	}
+	var opts []qmatch.Option
+	if *thesaurusPath != "" {
+		th, err := qmatch.LoadThesaurusFile(*thesaurusPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, qmatch.WithThesaurus(th))
+	}
+	report := qmatch.Diff(oldSchema, newSchema, opts...)
+	_, err = io.WriteString(out, report.Format(*verbose))
+	return err
+}

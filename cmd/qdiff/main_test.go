@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Order"><xs:complexType><xs:sequence>
+    <xs:element name="OrderNo" type="xs:integer"/>
+    <xs:element name="Quantity" type="xs:integer"/>
+    <xs:element name="LegacyCode" type="xs:string"/>
+  </xs:sequence></xs:complexType></xs:element>
+</xs:schema>`
+
+const newXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Order"><xs:complexType><xs:sequence>
+    <xs:element name="OrderNo" type="xs:long"/>
+    <xs:element name="Qty" type="xs:integer"/>
+    <xs:element name="TrackingId" type="xs:string"/>
+  </xs:sequence></xs:complexType></xs:element>
+</xs:schema>`
+
+func writePair(t *testing.T) (oldPath, newPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath = filepath.Join(dir, "v1.xsd")
+	newPath = filepath.Join(dir, "v2.xsd")
+	os.WriteFile(oldPath, []byte(oldXSD), 0o644)
+	os.WriteFile(newPath, []byte(newXSD), 0o644)
+	return oldPath, newPath
+}
+
+func TestRunDiff(t *testing.T) {
+	oldPath, newPath := writePair(t)
+	var out bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"renamed   Order/Quantity -> Order/Qty",
+		"modified  Order/OrderNo -> Order/OrderNo (type integer -> long)",
+		"removed   Order/LegacyCode",
+		"added     Order/TrackingId",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "unchanged Order\n") {
+		t.Errorf("non-verbose output lists unchanged:\n%s", s)
+	}
+}
+
+func TestRunDiffVerbose(t *testing.T) {
+	oldPath, newPath := writePair(t)
+	var out bytes.Buffer
+	if err := run([]string{"-verbose", oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "unchanged Order") {
+		t.Fatalf("verbose output:\n%s", out.String())
+	}
+}
+
+func TestRunDiffErrors(t *testing.T) {
+	oldPath, _ := writePair(t)
+	for _, args := range [][]string{
+		{oldPath},
+		{oldPath, filepath.Join(t.TempDir(), "missing.xsd")},
+		{filepath.Join(t.TempDir(), "missing.xsd"), oldPath},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command qmatch matches two XML Schemas and prints the discovered
+// correspondences and the overall schema QoM.
+//
+// Usage:
+//
+//	qmatch [flags] SOURCE TARGET
+//
+// SOURCE and TARGET are schema files — .xsd (XML Schema), .dtd (DTD) or
+// .xml (schema inferred from the instance document) — or, with -builtin,
+// names of built-in corpus schemas (PO1, PO2, Article, Book, DCMDItem,
+// DCMDOrd, PIR, PDB, XBenchCatalog, XBenchStore, Library, Human).
+//
+// Flags:
+//
+//	-algorithm hybrid|linguistic|structural   matcher to run (default hybrid)
+//	-threshold FLOAT                          selection threshold (default per algorithm)
+//	-weights WL,WP,WH,WC                      hybrid axis weights (default 0.3,0.2,0.1,0.4)
+//	-builtin                                  treat arguments as corpus schema names
+//	-format text|json|tsv                     output format (default text)
+//	-config FILE                              load matcher settings from a JSON config file
+//	-thesaurus FILE                           merge custom relations (TSV: relation, term-a, term-b)
+//	-explain N                                explain the N best pairs' QoM derivations
+//	-complex                                  also report 1:n splits over the unmatched remainder
+//	-qom                                      also print the per-axis QoM breakdown (text only)
+//	-dump                                     print both schema trees before matching
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"qmatch"
+	"qmatch/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qmatch", flag.ContinueOnError)
+	algorithm := fs.String("algorithm", "hybrid", "matcher: hybrid, linguistic or structural")
+	threshold := fs.Float64("threshold", -1, "selection threshold override")
+	weights := fs.String("weights", "", "hybrid axis weights as WL,WP,WH,WC")
+	builtin := fs.Bool("builtin", false, "treat arguments as built-in corpus schema names")
+	format := fs.String("format", "text", "output format: text, json or tsv")
+	configPath := fs.String("config", "", "JSON matcher configuration file")
+	thesaurusPath := fs.String("thesaurus", "", "file with custom thesaurus relations")
+	explain := fs.Int("explain", 0, "explain the N best pairs")
+	complexFlag := fs.Bool("complex", false, "report 1:n complex correspondences")
+	showQoM := fs.Bool("qom", false, "print the per-axis QoM breakdown")
+	dump := fs.Bool("dump", false, "print both schema trees")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly 2 arguments (source, target), got %d", fs.NArg())
+	}
+
+	src, err := load(fs.Arg(0), *builtin)
+	if err != nil {
+		return err
+	}
+	tgt, err := load(fs.Arg(1), *builtin)
+	if err != nil {
+		return err
+	}
+
+	var opts []qmatch.Option
+	if *configPath != "" {
+		fromFile, err := qmatch.LoadOptionsFile(*configPath)
+		if err != nil {
+			return err
+		}
+		// Config first: explicit flags below override it.
+		opts = append(opts, fromFile...)
+	}
+	switch *algorithm {
+	case "hybrid", "linguistic", "structural":
+		opts = append(opts, qmatch.WithAlgorithm(qmatch.Algorithm(*algorithm)))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	if *threshold >= 0 {
+		opts = append(opts, qmatch.WithSelectionThreshold(*threshold))
+	}
+	if *weights != "" {
+		w, err := parseWeights(*weights)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, qmatch.WithWeights(w))
+	}
+	if *thesaurusPath != "" {
+		th, err := qmatch.LoadThesaurusFile(*thesaurusPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, qmatch.WithThesaurus(th))
+	}
+
+	if *dump {
+		fmt.Fprintf(out, "--- source: %s (%d elements, depth %d) ---\n%s\n",
+			src.Name(), src.Size(), src.MaxDepth(), src.Dump())
+		fmt.Fprintf(out, "--- target: %s (%d elements, depth %d) ---\n%s\n",
+			tgt.Name(), tgt.Size(), tgt.MaxDepth(), tgt.Dump())
+	}
+
+	report := qmatch.Match(src, tgt, opts...)
+	switch *format {
+	case "json":
+		return report.WriteJSON(out)
+	case "tsv":
+		return report.WriteTSV(out)
+	case "text":
+		// fallthrough to the human-readable rendering below
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	fmt.Fprintf(out, "algorithm: %s\n", report.Algorithm)
+	fmt.Fprintf(out, "schema QoM: %.3f\n", report.TreeQoM)
+	fmt.Fprintf(out, "correspondences (%d):\n", len(report.Correspondences))
+	for _, c := range report.Correspondences {
+		fmt.Fprintf(out, "  %s\n", c)
+	}
+
+	if *showQoM {
+		q := qmatch.QoM(src, tgt, opts...)
+		fmt.Fprintf(out, "QoM breakdown: label=%.2f properties=%.2f level=%.2f children=%.2f value=%.2f class=%q\n",
+			q.Label, q.Properties, q.Level, q.Children, q.Value, q.Class)
+	}
+	if *complexFlag {
+		complexes := qmatch.MatchComplex(src, tgt, report, opts...)
+		fmt.Fprintf(out, "complex correspondences (%d):\n", len(complexes))
+		for _, c := range complexes {
+			fmt.Fprintf(out, "  %s\n", c)
+		}
+	}
+	if *explain > 0 {
+		fmt.Fprintf(out, "\n%s", qmatch.ExplainTop(src, tgt, *explain, opts...))
+	}
+	return nil
+}
+
+func load(arg string, builtin bool) (*qmatch.Schema, error) {
+	if builtin {
+		tree, err := dataset.ByName(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%w (known: %s)", err, strings.Join(dataset.Names(), ", "))
+		}
+		return qmatch.FromTree(tree), nil
+	}
+	return qmatch.LoadSchema(arg)
+}
+
+func parseWeights(s string) (qmatch.Weights, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return qmatch.Weights{}, fmt.Errorf("weights must be WL,WP,WH,WC, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return qmatch.Weights{}, fmt.Errorf("invalid weight %q", p)
+		}
+		vals[i] = v
+	}
+	return qmatch.Weights{Label: vals[0], Properties: vals[1], Level: vals[2], Children: vals[3]}, nil
+}

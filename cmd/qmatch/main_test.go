@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/xsd"
+)
+
+func TestRunBuiltinPair(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-builtin", "-qom", "PO1", "PO2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"algorithm: hybrid",
+		"schema QoM:",
+		"PO/OrderNo -> PurchaseOrder/OrderNo (1.00)",
+		"QoM breakdown:",
+		`class="total relaxed"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "a.xsd")
+	tgtPath := filepath.Join(dir, "b.xsd")
+	os.WriteFile(srcPath, []byte(xsd.Render(dataset.PO1())), 0o644)
+	os.WriteFile(tgtPath, []byte(xsd.Render(dataset.PO2())), 0o644)
+	var out bytes.Buffer
+	if err := run([]string{"-dump", srcPath, tgtPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "--- source: PO") {
+		t.Fatalf("dump missing:\n%s", out.String())
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	for _, alg := range []string{"linguistic", "structural"} {
+		var out bytes.Buffer
+		if err := run([]string{"-builtin", "-algorithm", alg, "PO1", "PO2"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "algorithm: "+alg) {
+			t.Errorf("%s: wrong header:\n%s", alg, out.String())
+		}
+	}
+}
+
+func TestRunWeightsAndThreshold(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-builtin", "-weights", "0.5,0.2,0.1,0.2", "-threshold", "0.9", "PO1", "PO2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "correspondences") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	var jsonOut bytes.Buffer
+	if err := run([]string{"-builtin", "-format", "json", "PO1", "PO2"}, &jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut.String(), `"Algorithm": "hybrid"`) {
+		t.Fatalf("json:\n%s", jsonOut.String())
+	}
+	var tsvOut bytes.Buffer
+	if err := run([]string{"-builtin", "-format", "tsv", "PO1", "PO2"}, &tsvOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tsvOut.String(), "PO/OrderNo\tPurchaseOrder/OrderNo") {
+		t.Fatalf("tsv:\n%s", tsvOut.String())
+	}
+	var bad bytes.Buffer
+	if err := run([]string{"-builtin", "-format", "yaml", "PO1", "PO2"}, &bad); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-builtin", "-explain", "2", "PO1", "PO2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "QoM(") != 2 {
+		t.Fatalf("explain output:\n%s", out.String())
+	}
+}
+
+func TestRunThesaurusFile(t *testing.T) {
+	dir := t.TempDir()
+	thPath := filepath.Join(dir, "domain.tsv")
+	os.WriteFile(thPath, []byte("synonym\tgizmo\twidget\n"), 0o644)
+	a := filepath.Join(dir, "a.xsd")
+	b := filepath.Join(dir, "b.xsd")
+	os.WriteFile(a, []byte(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="Gizmo" type="xs:string"/></xs:schema>`), 0o644)
+	os.WriteFile(b, []byte(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="Widget" type="xs:string"/></xs:schema>`), 0o644)
+	var out bytes.Buffer
+	if err := run([]string{"-thesaurus", thPath, a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Gizmo -> Widget (1.00)") {
+		t.Fatalf("thesaurus not applied:\n%s", out.String())
+	}
+	// Bad thesaurus files error out.
+	bad := filepath.Join(dir, "bad.tsv")
+	os.WriteFile(bad, []byte("nonsense line without tabs\n"), 0o644)
+	if err := run([]string{"-thesaurus", bad, a, b}, &out); err == nil {
+		t.Fatal("bad thesaurus accepted")
+	}
+	if err := run([]string{"-thesaurus", filepath.Join(dir, "missing.tsv"), a, b}, &out); err == nil {
+		t.Fatal("missing thesaurus accepted")
+	}
+}
+
+func TestRunDTDAndXMLInputs(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "po.dtd")
+	xmlPath := filepath.Join(dir, "po.xml")
+	os.WriteFile(dtdPath, []byte(`
+<!ELEMENT PO (OrderNo, PurchaseDate)>
+<!ELEMENT OrderNo (#PCDATA)>
+<!ELEMENT PurchaseDate (#PCDATA)>
+`), 0o644)
+	os.WriteFile(xmlPath, []byte(`<PurchaseOrder><OrderNo>7</OrderNo><Date>2005-01-02</Date></PurchaseOrder>`), 0o644)
+	var out bytes.Buffer
+	if err := run([]string{dtdPath, xmlPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PO/OrderNo -> PurchaseOrder/OrderNo") {
+		t.Fatalf("cross-format match:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"onlyone"},                                        // wrong arg count
+		{"-builtin", "PO1", "NoSuchSchema"},                // unknown builtin
+		{"-algorithm", "bogus", "-builtin", "PO1", "PO2"},  // unknown algorithm
+		{"-weights", "1,2", "-builtin", "PO1", "PO2"},      // bad weights arity
+		{"-weights", "a,b,c,d", "-builtin", "PO1", "PO2"},  // bad weight value
+		{"-weights", "-1,0,0,1", "-builtin", "PO1", "PO2"}, // negative weight
+		{"/no/such/file.xsd", "/no/such/other.xsd"},        // missing files
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunComplexFlag(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xsd")
+	b := filepath.Join(dir, "b.xsd")
+	os.WriteFile(a, []byte(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Record"><xs:complexType><xs:sequence>
+	    <xs:element name="AuthorName" type="xs:string"/>
+	  </xs:sequence></xs:complexType></xs:element></xs:schema>`), 0o644)
+	os.WriteFile(b, []byte(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Entry"><xs:complexType><xs:sequence>
+	    <xs:element name="Author"><xs:complexType><xs:sequence>
+	      <xs:element name="FirstName" type="xs:string"/>
+	      <xs:element name="LastName" type="xs:string"/>
+	    </xs:sequence></xs:complexType></xs:element>
+	  </xs:sequence></xs:complexType></xs:element></xs:schema>`), 0o644)
+	var out bytes.Buffer
+	if err := run([]string{"-complex", a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "{FirstName, LastName}") {
+		t.Fatalf("complex output:\n%s", out.String())
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "match.json")
+	os.WriteFile(cfgPath, []byte(`{"selectionThreshold": 0.99}`), 0o644)
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-builtin", "PO1", "PO2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Only perfect-score pairs survive a 0.99 threshold.
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "->") && !strings.Contains(line, "(1.00)") {
+			t.Fatalf("threshold from config ignored: %s", line)
+		}
+	}
+	if err := run([]string{"-config", filepath.Join(dir, "nope.json"), "-builtin", "PO1", "PO2"}, &out); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}

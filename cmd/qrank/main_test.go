@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/xsd"
+)
+
+// corpusDir materializes a small on-disk corpus: the PO pair as XSD, a
+// book DTD and an unrelated inferred-XML document.
+func corpusDir(t *testing.T) (dir, query string) {
+	t.Helper()
+	dir = t.TempDir()
+	query = filepath.Join(dir, "query.xsd")
+	os.WriteFile(query, []byte(xsd.Render(dataset.PO1())), 0o644)
+	os.WriteFile(filepath.Join(dir, "po2.xsd"), []byte(xsd.Render(dataset.PO2())), 0o644)
+	os.WriteFile(filepath.Join(dir, "book.dtd"), []byte(`
+<!ELEMENT Book (Title, Author, Year)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT Author (#PCDATA)>
+<!ELEMENT Year (#PCDATA)>
+`), 0o644)
+	os.WriteFile(filepath.Join(dir, "recipe.xml"),
+		[]byte(`<Recipe><Name>Bread</Name><Minutes>90</Minutes></Recipe>`), 0o644)
+	return dir, query
+}
+
+func TestRunDirCorpus(t *testing.T) {
+	dir, query := corpusDir(t)
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-maps", query}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// The query itself is in the directory and must rank first (score 1).
+	var rank1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") {
+			rank1 = l
+		}
+	}
+	if !strings.Contains(rank1, "query.xsd") {
+		t.Fatalf("rank 1 = %q\n%s", rank1, s)
+	}
+	if !strings.Contains(s, "po2.xsd") || !strings.Contains(s, "book.dtd") || !strings.Contains(s, "recipe.xml") {
+		t.Fatalf("corpus entries missing:\n%s", s)
+	}
+	if !strings.Contains(s, "correspondences:") {
+		t.Fatalf("-maps output missing:\n%s", s)
+	}
+}
+
+func TestRunExplicitFilesAndTop(t *testing.T) {
+	dir, query := corpusDir(t)
+	var out bytes.Buffer
+	err := run([]string{"-top", "1", query, filepath.Join(dir, "po2.xsd"), filepath.Join(dir, "book.dtd")}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "po2.xsd") {
+		t.Fatalf("best entry missing:\n%s", s)
+	}
+	if strings.Contains(s, "book.dtd") {
+		t.Fatalf("-top 1 printed more than one entry:\n%s", s)
+	}
+}
+
+func TestRunAlgorithmFlag(t *testing.T) {
+	dir, query := corpusDir(t)
+	for _, alg := range []string{"linguistic", "structural", "cupid"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algorithm", alg, query, filepath.Join(dir, "po2.xsd")}, &out); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir, query := corpusDir(t)
+	cases := [][]string{
+		{},      // no query
+		{query}, // no corpus
+		{"-algorithm", "bogus", query, filepath.Join(dir, "po2.xsd")},
+		{filepath.Join(dir, "missing.xsd"), filepath.Join(dir, "po2.xsd")},
+		{query, filepath.Join(dir, "missing.xsd")},
+		{"-dir", filepath.Join(dir, "nosuchdir"), query},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

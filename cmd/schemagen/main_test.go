@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qmatch/internal/xsd"
+)
+
+func TestRunSchemaOnly(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "solo")
+	if err := run([]string{"-seed", "3", "-elements", "40", "-out", prefix}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(prefix + ".src.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := xsd.ParseString(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 40 {
+		t.Fatalf("size = %d", tree.Size())
+	}
+}
+
+func TestRunWithVariant(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "pair")
+	if err := run([]string{"-seed", "5", "-elements", "60", "-variant", "0.3", "-out", prefix}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(prefix + ".src.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := os.ReadFile(prefix + ".tgt.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := os.ReadFile(prefix + ".gold.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcTree, err := xsd.ParseString(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtTree, err := xsd.ParseString(string(tgt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(gold)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty gold")
+	}
+	for _, line := range lines {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 2 {
+			t.Fatalf("bad gold line %q", line)
+		}
+		if srcTree.Find(parts[0]) == nil {
+			t.Fatalf("gold source path %q not in source schema", parts[0])
+		}
+		if tgtTree.Find(parts[1]) == nil {
+			t.Fatalf("gold target path %q not in target schema", parts[1])
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	for _, p := range []string{a, b} {
+		if err := run([]string{"-seed", "9", "-elements", "30", "-out", p}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, _ := os.ReadFile(a + ".src.xsd")
+	db, _ := os.ReadFile(b + ".src.xsd")
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-elements", "abc"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "2", "-elements", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xsd.ParseString(out.String()); err != nil {
+		t.Fatalf("stdout schema does not parse: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-seed", "2", "-elements", "20", "-variant", "0.2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== source schema ===") || !strings.Contains(s, "=== gold standard") {
+		t.Fatalf("stdout pair output:\n%s", s)
+	}
+}

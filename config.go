@@ -1,0 +1,101 @@
+package qmatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// fileConfig is the JSON shape of a matcher configuration file:
+//
+//	{
+//	  "algorithm": "hybrid",
+//	  "weights": {"label": 0.3, "properties": 0.2, "level": 0.1, "children": 0.4},
+//	  "childThreshold": 0.5,
+//	  "selectionThreshold": 0.75,
+//	  "thesaurus": "domain.tsv",
+//	  "useBuiltinThesaurus": true
+//	}
+//
+// Every field is optional; omitted fields keep their defaults. A relative
+// thesaurus path is resolved against the config file's directory.
+type fileConfig struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	Weights   *struct {
+		Label      float64 `json:"label"`
+		Properties float64 `json:"properties"`
+		Level      float64 `json:"level"`
+		Children   float64 `json:"children"`
+	} `json:"weights,omitempty"`
+	ChildThreshold      *float64 `json:"childThreshold,omitempty"`
+	SelectionThreshold  *float64 `json:"selectionThreshold,omitempty"`
+	Thesaurus           string   `json:"thesaurus,omitempty"`
+	UseBuiltinThesaurus *bool    `json:"useBuiltinThesaurus,omitempty"`
+}
+
+// OptionsFromJSON reads a matcher configuration and returns the equivalent
+// option list. baseDir resolves relative thesaurus paths ("" = current
+// directory).
+func OptionsFromJSON(r io.Reader, baseDir string) ([]Option, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var fc fileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return nil, fmt.Errorf("qmatch: config: %w", err)
+	}
+	var opts []Option
+	if fc.Algorithm != "" {
+		switch Algorithm(fc.Algorithm) {
+		case Hybrid, Linguistic, Structural, Cupid:
+			opts = append(opts, WithAlgorithm(Algorithm(fc.Algorithm)))
+		default:
+			return nil, fmt.Errorf("qmatch: config: unknown algorithm %q", fc.Algorithm)
+		}
+	}
+	if fc.Weights != nil {
+		w := Weights{
+			Label:      fc.Weights.Label,
+			Properties: fc.Weights.Properties,
+			Level:      fc.Weights.Level,
+			Children:   fc.Weights.Children,
+		}
+		if w.Label < 0 || w.Properties < 0 || w.Level < 0 || w.Children < 0 {
+			return nil, fmt.Errorf("qmatch: config: negative weight")
+		}
+		opts = append(opts, WithWeights(w))
+	}
+	if fc.ChildThreshold != nil {
+		opts = append(opts, WithChildThreshold(*fc.ChildThreshold))
+	}
+	if fc.SelectionThreshold != nil {
+		opts = append(opts, WithSelectionThreshold(*fc.SelectionThreshold))
+	}
+	if fc.UseBuiltinThesaurus != nil && !*fc.UseBuiltinThesaurus {
+		opts = append(opts, WithoutBuiltinThesaurus())
+	}
+	if fc.Thesaurus != "" {
+		path := fc.Thesaurus
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		th, err := LoadThesaurusFile(path)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithThesaurus(th))
+	}
+	return opts, nil
+}
+
+// LoadOptionsFile is OptionsFromJSON over a file path; relative thesaurus
+// paths resolve against the file's directory.
+func LoadOptionsFile(path string) ([]Option, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qmatch: %w", err)
+	}
+	defer f.Close()
+	return OptionsFromJSON(f, filepath.Dir(path))
+}

@@ -1,0 +1,86 @@
+package qmatch_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qmatch"
+)
+
+func TestOptionsFromJSON(t *testing.T) {
+	cfg := `{
+	  "algorithm": "linguistic",
+	  "selectionThreshold": 0.9
+	}`
+	opts, err := qmatch.OptionsFromJSON(strings.NewReader(cfg), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, tgt := poPairXSD(t)
+	r := qmatch.Match(src, tgt, opts...)
+	if r.Algorithm != "linguistic" {
+		t.Fatalf("algorithm = %s", r.Algorithm)
+	}
+	for _, c := range r.Correspondences {
+		if c.Score < 0.9 {
+			t.Fatalf("threshold not applied: %v", c)
+		}
+	}
+}
+
+func TestOptionsFromJSONWeights(t *testing.T) {
+	cfg := `{"weights": {"label": 1, "properties": 0, "level": 0, "children": 0}}`
+	opts, err := qmatch.OptionsFromJSON(strings.NewReader(cfg), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, tgt := poPairXSD(t)
+	labelOnly := qmatch.QoM(src, tgt, opts...)
+	normal := qmatch.QoM(src, tgt)
+	if labelOnly.Value == normal.Value {
+		t.Fatal("weights from config had no effect")
+	}
+}
+
+func TestLoadOptionsFileWithThesaurus(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "domain.tsv"),
+		[]byte("synonym\tgizmo\twidget\n"), 0o644)
+	cfgPath := filepath.Join(dir, "match.json")
+	os.WriteFile(cfgPath, []byte(`{
+	  "thesaurus": "domain.tsv",
+	  "useBuiltinThesaurus": false
+	}`), 0o644)
+	opts, err := qmatch.LoadOptionsFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Gizmo" type="xs:string"/></xs:schema>`)
+	tgt, _ := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Widget" type="xs:string"/></xs:schema>`)
+	r := qmatch.Match(src, tgt, opts...)
+	if len(r.Correspondences) != 1 {
+		t.Fatalf("config thesaurus not applied: %v", r.Correspondences)
+	}
+}
+
+func TestOptionsFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed":       `{`,
+		"unknown field":   `{"bogus": 1}`,
+		"bad algorithm":   `{"algorithm": "psychic"}`,
+		"negative weight": `{"weights": {"label": -1, "properties": 1, "level": 0, "children": 0}}`,
+		"bad thesaurus":   `{"thesaurus": "/no/such/file.tsv"}`,
+	}
+	for name, cfg := range cases {
+		if _, err := qmatch.OptionsFromJSON(strings.NewReader(cfg), ""); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := qmatch.LoadOptionsFile("/no/such/config.json"); err == nil {
+		t.Error("missing config accepted")
+	}
+}

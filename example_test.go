@@ -1,0 +1,129 @@
+package qmatch_test
+
+import (
+	"fmt"
+	"strings"
+
+	"qmatch"
+)
+
+const exampleSource = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO">
+    <xs:complexType><xs:sequence>
+      <xs:element name="OrderNo" type="xs:integer"/>
+      <xs:element name="Quantity" type="xs:integer"/>
+      <xs:element name="PurchaseDate" type="xs:date"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+const exampleTarget = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PurchaseOrder">
+    <xs:complexType><xs:sequence>
+      <xs:element name="OrderNo" type="xs:integer"/>
+      <xs:element name="Qty" type="xs:integer"/>
+      <xs:element name="Date" type="xs:date"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func ExampleMatch() {
+	src, _ := qmatch.ParseSchemaString(exampleSource)
+	tgt, _ := qmatch.ParseSchemaString(exampleTarget)
+	report := qmatch.Match(src, tgt)
+	for _, c := range report.Correspondences {
+		fmt.Println(c)
+	}
+	// Output:
+	// PO/OrderNo -> PurchaseOrder/OrderNo (1.00)
+	// PO/PurchaseDate -> PurchaseOrder/Date (0.96)
+	// PO/Quantity -> PurchaseOrder/Qty (0.96)
+	// PO -> PurchaseOrder (0.95)
+}
+
+func ExampleQoM() {
+	src, _ := qmatch.ParseSchemaString(exampleSource)
+	tgt, _ := qmatch.ParseSchemaString(exampleTarget)
+	q := qmatch.QoM(src, tgt)
+	fmt.Println(q.Class)
+	// Output:
+	// total relaxed
+}
+
+func ExampleMatch_algorithms() {
+	src, _ := qmatch.ParseSchemaString(exampleSource)
+	tgt, _ := qmatch.ParseSchemaString(exampleTarget)
+	for _, alg := range []qmatch.Algorithm{qmatch.Linguistic, qmatch.Structural, qmatch.Hybrid} {
+		r := qmatch.Match(src, tgt, qmatch.WithAlgorithm(alg))
+		fmt.Printf("%s found %d correspondences\n", r.Algorithm, len(r.Correspondences))
+	}
+	// Output:
+	// linguistic found 4 correspondences
+	// structural found 4 correspondences
+	// hybrid found 4 correspondences
+}
+
+func ExampleEvaluate() {
+	src, _ := qmatch.ParseSchemaString(exampleSource)
+	tgt, _ := qmatch.ParseSchemaString(exampleTarget)
+	report := qmatch.Match(src, tgt)
+	gold := [][2]string{
+		{"PO", "PurchaseOrder"},
+		{"PO/OrderNo", "PurchaseOrder/OrderNo"},
+		{"PO/Quantity", "PurchaseOrder/Qty"},
+		{"PO/PurchaseDate", "PurchaseOrder/Date"},
+	}
+	e := qmatch.Evaluate(report, gold)
+	fmt.Printf("precision %.2f recall %.2f overall %.2f\n", e.Precision, e.Recall, e.Overall)
+	// Output:
+	// precision 1.00 recall 1.00 overall 1.00
+}
+
+func ExampleWithThesaurus() {
+	src, _ := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Gadget" type="xs:string"/></xs:schema>`)
+	tgt, _ := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Appliance" type="xs:string"/></xs:schema>`)
+	th := qmatch.NewThesaurus()
+	th.AddSynonym("gadget", "appliance")
+	report := qmatch.Match(src, tgt, qmatch.WithThesaurus(th))
+	fmt.Println(report.Correspondences[0])
+	// Output:
+	// Gadget -> Appliance (1.00)
+}
+
+func ExampleValidate() {
+	schema, _ := qmatch.ParseSchemaString(exampleSource)
+	violations, _ := qmatch.ValidateString(schema, `<PO>
+	  <OrderNo>not-a-number</OrderNo>
+	  <Quantity>2</Quantity>
+	  <PurchaseDate>2005-04-05</PurchaseDate>
+	</PO>`)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	// Output:
+	// PO/OrderNo: type: value "not-a-number" is not a valid integer
+}
+
+func ExampleNewTranslator() {
+	src, _ := qmatch.ParseSchemaString(exampleSource)
+	tgt, _ := qmatch.ParseSchemaString(exampleTarget)
+	report := qmatch.Match(src, tgt)
+	tr, _ := qmatch.NewTranslator(src, tgt, report)
+	out, _ := tr.TranslateString(`<PO>
+	  <OrderNo>7</OrderNo><Quantity>3</Quantity><PurchaseDate>2005-04-05</PurchaseDate>
+	</PO>`)
+	fmt.Println(strings.Contains(out, "<Qty>3</Qty>"))
+	// Output:
+	// true
+}
+
+func ExampleInferSchemaString() {
+	s, _ := qmatch.InferSchemaString(`<Order><Id>7</Id><Total>9.99</Total></Order>`)
+	fmt.Println(s.Dump())
+	// Output:
+	// Order
+	//   Id [integer]
+	//   Total [decimal]
+}

@@ -1,0 +1,114 @@
+// Integration pipeline: the end-to-end scenario schema matching exists
+// for — match two purchase-order schemas, translate a document from the
+// source structure into the target structure using the discovered
+// correspondences, and validate the result against the target schema.
+//
+//	go run ./examples/integration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qmatch"
+)
+
+const sourceXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO">
+    <xs:complexType><xs:sequence>
+      <xs:element name="OrderNo" type="xs:integer"/>
+      <xs:element name="PurchaseInfo">
+        <xs:complexType><xs:sequence>
+          <xs:element name="BillingAddr" type="xs:string"/>
+          <xs:element name="ShippingAddr" type="xs:string"/>
+          <xs:element name="Lines">
+            <xs:complexType><xs:sequence>
+              <xs:element name="Item" type="xs:string"/>
+              <xs:element name="Quantity" type="xs:integer"/>
+              <xs:element name="UnitOfMeasure" type="xs:string"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+      <xs:element name="PurchaseDate" type="xs:date"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+const targetXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PurchaseOrder">
+    <xs:complexType><xs:sequence>
+      <xs:element name="OrderNo" type="xs:integer"/>
+      <xs:element name="BillTo" type="xs:string"/>
+      <xs:element name="ShipTo" type="xs:string"/>
+      <xs:element name="Items">
+        <xs:complexType><xs:sequence>
+          <xs:element name="ItemNo" type="xs:string"/>
+          <xs:element name="Qty" type="xs:integer"/>
+          <xs:element name="UOM" type="xs:string"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+      <xs:element name="Date" type="xs:date"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+const sourceDoc = `<PO>
+  <OrderNo>12345</OrderNo>
+  <PurchaseInfo>
+    <BillingAddr>1 Main St</BillingAddr>
+    <ShippingAddr>2 Side Ave</ShippingAddr>
+    <Lines>
+      <Item>Widget</Item>
+      <Quantity>3</Quantity>
+      <UnitOfMeasure>kg</UnitOfMeasure>
+    </Lines>
+  </PurchaseInfo>
+  <PurchaseDate>2005-04-05</PurchaseDate>
+</PO>`
+
+func main() {
+	src, err := qmatch.ParseSchemaString(sourceXSD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := qmatch.ParseSchemaString(targetXSD)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Match.
+	report := qmatch.Match(src, tgt)
+	fmt.Printf("step 1 — matched %s against %s: %d correspondences (QoM %.2f)\n",
+		src.Name(), tgt.Name(), len(report.Correspondences), report.TreeQoM)
+	for _, c := range report.Correspondences {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// 2. Translate.
+	tr, err := qmatch.NewTranslator(src, tgt, report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	translated, err := tr.TranslateString(sourceDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstep 2 — translated document:\n%s", translated)
+
+	// 3. Validate against the target schema.
+	violations, err := qmatch.ValidateString(tgt, translated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(violations) == 0 {
+		fmt.Println("\nstep 3 — translated document validates against the target schema ✓")
+	} else {
+		fmt.Printf("\nstep 3 — %d validation findings:\n", len(violations))
+		for _, v := range violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+}

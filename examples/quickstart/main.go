@@ -1,0 +1,98 @@
+// Quickstart: parse two XML Schemas and match them with QMatch.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qmatch"
+)
+
+const sourceXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="OrderNo" type="xs:integer"/>
+        <xs:element name="PurchaseInfo">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="BillingAddr" type="xs:string"/>
+              <xs:element name="ShippingAddr" type="xs:string"/>
+              <xs:element name="Lines">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="Item" type="xs:string"/>
+                    <xs:element name="Quantity" type="xs:integer"/>
+                    <xs:element name="UnitOfMeasure" type="xs:string"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="PurchaseDate" type="xs:date"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+const targetXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PurchaseOrder">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="OrderNo" type="xs:integer"/>
+        <xs:element name="BillTo" type="xs:string"/>
+        <xs:element name="ShipTo" type="xs:string"/>
+        <xs:element name="Items">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Item#" type="xs:string"/>
+              <xs:element name="Qty" type="xs:integer"/>
+              <xs:element name="UOM" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Date" type="xs:date"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func main() {
+	src, err := qmatch.ParseSchemaString(sourceXSD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := qmatch.ParseSchemaString(targetXSD)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("source: %s (%d elements, depth %d)\n", src.Name(), src.Size(), src.MaxDepth())
+	fmt.Printf("target: %s (%d elements, depth %d)\n\n", tgt.Name(), tgt.Size(), tgt.MaxDepth())
+
+	// Match with the hybrid QMatch algorithm (default).
+	report := qmatch.Match(src, tgt)
+	fmt.Printf("overall schema QoM: %.3f\n", report.TreeQoM)
+	fmt.Println("correspondences:")
+	for _, c := range report.Correspondences {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// The per-axis breakdown of the two roots' QoM.
+	q := qmatch.QoM(src, tgt)
+	fmt.Printf("\nroot QoM breakdown: label=%.2f properties=%.2f level=%.2f children=%.2f\n",
+		q.Label, q.Properties, q.Level, q.Children)
+	fmt.Printf("taxonomy class: %s\n", q.Class)
+
+	// Compare against the two baselines from the paper's evaluation.
+	for _, alg := range []qmatch.Algorithm{qmatch.Linguistic, qmatch.Structural} {
+		r := qmatch.Match(src, tgt, qmatch.WithAlgorithm(alg))
+		fmt.Printf("\n%s baseline: %d correspondences, tree score %.3f\n",
+			alg, len(r.Correspondences), r.TreeQoM)
+	}
+}

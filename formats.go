@@ -1,0 +1,77 @@
+package qmatch
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qmatch/internal/dtd"
+	"qmatch/internal/infer"
+)
+
+// ParseDTD reads a Document Type Definition and returns the schema rooted
+// at the named element (or the first declared element when root is empty).
+func ParseDTD(r io.Reader, root string) (*Schema, error) {
+	tree, err := dtd.Parse(r, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{root: tree}, nil
+}
+
+// ParseDTDString is ParseDTD over a string.
+func ParseDTDString(s, root string) (*Schema, error) {
+	return ParseDTD(strings.NewReader(s), root)
+}
+
+// ParseDTDFile is ParseDTD over a file path.
+func ParseDTDFile(path, root string) (*Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qmatch: %w", err)
+	}
+	defer f.Close()
+	return ParseDTD(f, root)
+}
+
+// InferSchema derives a schema from an XML instance document — for
+// matching against documents that ship without any schema.
+func InferSchema(r io.Reader) (*Schema, error) {
+	tree, err := infer.Infer(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{root: tree}, nil
+}
+
+// InferSchemaString is InferSchema over a string.
+func InferSchemaString(s string) (*Schema, error) {
+	return InferSchema(strings.NewReader(s))
+}
+
+// InferSchemaFile is InferSchema over a file path.
+func InferSchemaFile(path string) (*Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qmatch: %w", err)
+	}
+	defer f.Close()
+	return InferSchema(f)
+}
+
+// LoadSchema loads a schema from a file, selecting the format by
+// extension: .xsd → XML Schema, .dtd → DTD (first declared element as
+// root), .xml → schema inference from the instance document. Other
+// extensions are attempted as XSD.
+func LoadSchema(path string) (*Schema, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".dtd":
+		return ParseDTDFile(path, "")
+	case ".xml":
+		return InferSchemaFile(path)
+	default:
+		return ParseSchemaFile(path)
+	}
+}

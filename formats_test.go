@@ -1,0 +1,116 @@
+package qmatch_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qmatch"
+)
+
+const bookDTD = `
+<!ELEMENT Book (Title, Author+, ISBN?, Year)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT Author (#PCDATA)>
+<!ELEMENT ISBN (#PCDATA)>
+<!ELEMENT Year (#PCDATA)>
+<!ATTLIST Book lang CDATA #IMPLIED>
+`
+
+const bookXML = `<Book lang="en">
+  <Title>Go in Practice</Title>
+  <Author>A. Gopher</Author>
+  <Author>B. Gopher</Author>
+  <Year>2005</Year>
+</Book>`
+
+func TestParseDTDString(t *testing.T) {
+	s, err := qmatch.ParseDTDString(bookDTD, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Book" || s.Size() != 6 {
+		t.Fatalf("schema = %s/%d", s.Name(), s.Size())
+	}
+}
+
+func TestInferSchemaString(t *testing.T) {
+	s, err := qmatch.InferSchemaString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Book" {
+		t.Fatalf("name = %s", s.Name())
+	}
+	paths := s.Paths()
+	if len(paths) != 5 { // Book, lang, Title, Author, Year
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestCrossFormatMatching(t *testing.T) {
+	// DTD-declared schema vs schema inferred from an instance document:
+	// the cross-format scenario the paper's introduction motivates.
+	dtdSchema, err := qmatch.ParseDTDString(bookDTD, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := qmatch.InferSchemaString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := qmatch.Match(dtdSchema, inferred)
+	if report.TreeQoM < 0.6 {
+		t.Fatalf("cross-format QoM = %v", report.TreeQoM)
+	}
+	found := map[string]string{}
+	for _, c := range report.Correspondences {
+		found[c.Source] = c.Target
+	}
+	for _, want := range []string{"Book/Title", "Book/Author", "Book/Year"} {
+		if found[want] == "" {
+			t.Errorf("missing correspondence for %s (got %v)", want, found)
+		}
+	}
+}
+
+func TestLoadSchemaByExtension(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "book.dtd")
+	xmlPath := filepath.Join(dir, "book.xml")
+	os.WriteFile(dtdPath, []byte(bookDTD), 0o644)
+	os.WriteFile(xmlPath, []byte(bookXML), 0o644)
+
+	fromDTD, err := qmatch.LoadSchema(dtdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDTD.Size() != 6 {
+		t.Fatalf("dtd size = %d", fromDTD.Size())
+	}
+	fromXML, err := qmatch.LoadSchema(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromXML.Name() != "Book" {
+		t.Fatalf("xml name = %s", fromXML.Name())
+	}
+	// .xsd goes through the XSD parser.
+	xsdPath := filepath.Join(dir, "book.xsd")
+	os.WriteFile(xsdPath, []byte(fromDTD.XSD()), 0o644)
+	fromXSD, err := qmatch.LoadSchema(xsdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromXSD.Name() != "Book" {
+		t.Fatalf("xsd name = %s", fromXSD.Name())
+	}
+}
+
+func TestLoadSchemaMissingFiles(t *testing.T) {
+	for _, name := range []string{"a.dtd", "a.xml", "a.xsd"} {
+		if _, err := qmatch.LoadSchema(filepath.Join(t.TempDir(), name)); err == nil {
+			t.Errorf("%s: missing file accepted", name)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module qmatch
+
+go 1.22

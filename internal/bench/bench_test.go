@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/dataset"
+)
+
+func TestTable1Format(t *testing.T) {
+	out := FormatTable1()
+	for _, want := range []string{"PO1", "PDB", "3753", "231"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure5Shape asserts the paper's headline result: the hybrid
+// algorithm's Overall measure is at least that of both baselines in every
+// domain ("QMatch outperforms the linguistic and structural algorithms
+// both in terms of the accuracy of the matches as well as in terms of the
+// total matches discovered").
+func TestFigure5Shape(t *testing.T) {
+	for _, r := range Figure5Quality() {
+		if r.Hybrid.Overall < r.Linguistic.Overall {
+			t.Errorf("%s: hybrid Overall %.3f below linguistic %.3f",
+				r.Domain, r.Hybrid.Overall, r.Linguistic.Overall)
+		}
+		if r.Hybrid.Overall < r.Structural.Overall {
+			t.Errorf("%s: hybrid Overall %.3f below structural %.3f",
+				r.Domain, r.Hybrid.Overall, r.Structural.Overall)
+		}
+		if r.Hybrid.Overall <= 0 {
+			t.Errorf("%s: hybrid Overall %.3f not positive", r.Domain, r.Hybrid.Overall)
+		}
+	}
+}
+
+func TestFigure5Format(t *testing.T) {
+	out := FormatFigure5(Figure5Quality())
+	for _, want := range []string{"PO", "Book", "DCMD", "Protein", "Overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 5 output missing %q", want)
+		}
+	}
+}
+
+// TestFigure6Shape asserts the count comparison: the hybrid finds at least
+// as many matches as either baseline, and no algorithm exceeds a sane
+// bound (1:1 selection caps counts at min(|S|,|T|)).
+func TestFigure6Shape(t *testing.T) {
+	rows := Figure6Counts()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (PO, Book, XBench)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Hybrid < r.Linguistic {
+			t.Errorf("%s: hybrid %d < linguistic %d", r.Domain, r.Hybrid, r.Linguistic)
+		}
+		if r.Manual == 0 {
+			t.Errorf("%s: empty gold", r.Domain)
+		}
+		if r.Hybrid == 0 {
+			t.Errorf("%s: hybrid found nothing", r.Domain)
+		}
+	}
+}
+
+func TestFigure6Format(t *testing.T) {
+	out := FormatFigure6(Figure6Counts())
+	for _, want := range []string{"PO(M)", "Book(M)", "XBench(M)", "Manual"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 6 output missing %q", want)
+		}
+	}
+}
+
+// TestFigure9Shape asserts the averaging observation: on the structurally
+// identical but linguistically disjoint pair, linguistic is low,
+// structural is high, and the hybrid sits between them, gravitating toward
+// the higher (structural) value.
+func TestFigure9Shape(t *testing.T) {
+	rows := Figure9Extremes()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ling, structural, hybrid := rows[0].Score, rows[1].Score, rows[2].Score
+	if ling >= 0.5 {
+		t.Errorf("linguistic score %.3f too high for disjoint vocabulary", ling)
+	}
+	if structural <= 0.8 {
+		t.Errorf("structural score %.3f too low for identical structure", structural)
+	}
+	if hybrid <= ling || hybrid >= structural {
+		t.Errorf("hybrid %.3f not strictly between linguistic %.3f and structural %.3f",
+			hybrid, ling, structural)
+	}
+	// "gravitated towards the higher individual algorithm values": closer
+	// to structural than to linguistic.
+	if structural-hybrid >= hybrid-ling {
+		t.Errorf("hybrid %.3f closer to linguistic (%.3f) than structural (%.3f)",
+			hybrid, ling, structural)
+	}
+}
+
+func TestFigure9Format(t *testing.T) {
+	out := FormatFigure9(Figure9Extremes())
+	if !strings.Contains(out, "hybrid") || !strings.Contains(out, "Library") {
+		t.Errorf("Figure 9 output = %s", out)
+	}
+}
+
+// TestFigure4Shape runs the small workloads (the 3984-element protein task
+// is exercised by the testing.B benchmarks instead) and checks the runtime
+// ordering the paper reports: the hybrid is the most expensive algorithm.
+func TestFigure4SmallWorkloads(t *testing.T) {
+	algs := DefaultAlgorithms()
+	for _, p := range []dataset.Pair{dataset.POPair(), dataset.BookPair(), dataset.DCMDPair()} {
+		l := timeMatch(algs.Linguistic, p, 3)
+		h := timeMatch(algs.Hybrid, p, 3)
+		if l <= 0 || h <= 0 {
+			t.Fatalf("%s: non-positive timing", p.Name)
+		}
+		// The hybrid does strictly more work than the linguistic pass it
+		// embeds; allow generous jitter at microsecond scales.
+		if h < l/4 {
+			t.Errorf("%s: hybrid (%v) implausibly faster than linguistic (%v)", p.Name, h, l)
+		}
+	}
+}
+
+func TestFigure4Format(t *testing.T) {
+	rows := []RuntimeRow{{Domain: "PO", TotalElements: 19}}
+	out := FormatFigure4(rows)
+	if !strings.Contains(out, "PO") || !strings.Contains(out, "Hybrid") {
+		t.Errorf("Figure 4 output = %s", out)
+	}
+}
+
+// TestTable2Sweep checks that the paper's chosen weights are near the top
+// of the sweep: the best grid point's mean Overall is within a small
+// margin of the score under the paper's 0.3/0.2/0.1/0.4 choice, and the
+// grid respects the published ranges.
+func TestTable2Sweep(t *testing.T) {
+	pairs := []dataset.Pair{dataset.POPair(), dataset.BookPair()}
+	results := Table2WeightSweep(pairs)
+	if len(results) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, r := range results {
+		w := r.Weights
+		if w.Label < 0.25-1e-9 || w.Label > 0.40+1e-9 ||
+			w.Properties < 0.10-1e-9 || w.Properties > 0.20+1e-9 ||
+			w.Level < 0.10-1e-9 || w.Level > 0.20+1e-9 ||
+			w.Children < 0.30-1e-9 || w.Children > 0.50+1e-9 {
+			t.Fatalf("grid point outside paper ranges: %v", w)
+		}
+		if !w.Valid() {
+			t.Fatalf("invalid grid point: %v", w)
+		}
+	}
+	// Locate the paper's choice in the sweep.
+	var paperScore float64
+	found := false
+	for _, r := range results {
+		w := r.Weights
+		if w.Label == 0.30 && w.Properties == 0.20 && w.Level == 0.10 && w.Children == 0.40 {
+			paperScore = r.MeanOverall
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("paper's weight choice not in grid")
+	}
+	best := results[0].MeanOverall
+	if best-paperScore > 0.15 {
+		t.Errorf("paper weights (%.3f) far from sweep best (%.3f)", paperScore, best)
+	}
+	out := FormatTable2(results, 5)
+	if !strings.Contains(out, "Children") {
+		t.Errorf("Table 2 output = %s", out)
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/match"
+	"qmatch/internal/synth"
+)
+
+// Extension experiments beyond the paper's evaluation: a scalability sweep
+// over synthetic schemas (extending Figure 4's four x-positions to a
+// parameterized curve) and a robustness sweep measuring accuracy as a
+// function of schema perturbation — the stress test the paper's conclusion
+// calls for when it discusses tuning the matcher.
+
+// ScalabilityRow is one x-position of the scalability sweep.
+type ScalabilityRow struct {
+	Elements   int // per schema; the pair totals 2×Elements (minus drops)
+	Linguistic time.Duration
+	Structural time.Duration
+	Hybrid     time.Duration
+}
+
+// Scalability measures matcher runtime on synthetic schema pairs of
+// increasing size. Each pair is a generated schema and a 30%-perturbed
+// variant of it.
+func Scalability(sizes []int, reps int) []ScalabilityRow {
+	algs := DefaultAlgorithms()
+	rows := make([]ScalabilityRow, 0, len(sizes))
+	for _, n := range sizes {
+		src := synth.Generate(synth.Config{Seed: int64(n), Elements: n, MaxDepth: 6, MaxChildren: 10})
+		tgt, _ := synth.Derive(src, synth.Uniform(int64(n)+1, 0.3))
+		p := dataset.Pair{Name: fmt.Sprintf("synthetic-%d", n), Source: src, Target: tgt}
+		rows = append(rows, ScalabilityRow{
+			Elements:   n,
+			Linguistic: timeMatch(algs.Linguistic, p, reps),
+			Structural: timeMatch(algs.Structural, p, reps),
+			Hybrid:     timeMatch(algs.Hybrid, p, reps),
+		})
+	}
+	return rows
+}
+
+// FormatScalability renders the sweep.
+func FormatScalability(rows []ScalabilityRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: runtime vs synthetic schema size\n")
+	fmt.Fprintf(&b, "%8s %14s %14s %14s\n", "#Elems", "Linguistic", "Structural", "Hybrid")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %14s %14s %14s\n", r.Elements, r.Linguistic, r.Structural, r.Hybrid)
+	}
+	return b.String()
+}
+
+// RobustnessRow is one x-position of the robustness sweep: match quality
+// at a given perturbation intensity.
+type RobustnessRow struct {
+	Intensity  float64
+	Linguistic match.Evaluation
+	Structural match.Evaluation
+	Hybrid     match.Evaluation
+}
+
+// Robustness generates a synthetic schema, derives variants at increasing
+// mutation intensity, and evaluates each algorithm against the known gold
+// standard. Expected shape: all algorithms decay with intensity; the
+// hybrid decays slowest because label and structure evidence compensate
+// for each other.
+func Robustness(elements int, intensities []float64) []RobustnessRow {
+	algs := DefaultAlgorithms()
+	src := synth.Generate(synth.Config{Seed: 99, Elements: elements, MaxDepth: 5, MaxChildren: 8})
+	rows := make([]RobustnessRow, 0, len(intensities))
+	for _, p := range intensities {
+		variant, gold := synth.Derive(src, synth.Uniform(101, p))
+		rows = append(rows, RobustnessRow{
+			Intensity:  p,
+			Linguistic: match.Evaluate(algs.Linguistic.Match(src, variant), gold),
+			Structural: match.Evaluate(algs.Structural.Match(src, variant), gold),
+			Hybrid:     match.Evaluate(algs.Hybrid.Match(src, variant), gold),
+		})
+	}
+	return rows
+}
+
+// FormatRobustness renders the sweep (F1, which stays in [0,1], plus the
+// paper's Overall in parentheses).
+func FormatRobustness(rows []RobustnessRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: match quality vs perturbation intensity (F1, Overall)\n")
+	fmt.Fprintf(&b, "%9s %22s %22s %22s\n", "Intensity", "Linguistic", "Structural", "Hybrid")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.2f %12.2f (%6.2f) %12.2f (%6.2f) %12.2f (%6.2f)\n",
+			r.Intensity,
+			r.Linguistic.F1, r.Linguistic.Overall,
+			r.Structural.F1, r.Structural.Overall,
+			r.Hybrid.F1, r.Hybrid.Overall)
+	}
+	return b.String()
+}
+
+// AblationRow compares a design choice against its alternative on the
+// corpus quality tasks.
+type AblationRow struct {
+	Domain  string
+	Default match.Evaluation
+	Variant match.Evaluation
+}
+
+// AblationLabelGate evaluates the hybrid with and without the
+// label-evidence selection gate (DESIGN.md §5): without the gate,
+// structure-only coincidences flood the correspondences.
+func AblationLabelGate() []AblationRow {
+	withGate := DefaultAlgorithms().Hybrid
+	noGate := newHybridNoGate()
+	var rows []AblationRow
+	for _, p := range dataset.Pairs() {
+		rows = append(rows, AblationRow{
+			Domain:  p.Name,
+			Default: match.Evaluate(withGate.Match(p.Source, p.Target), p.Gold),
+			Variant: match.Evaluate(noGate.Match(p.Source, p.Target), p.Gold),
+		})
+	}
+	return rows
+}
+
+// FormatAblation renders an ablation comparison.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s (Overall, default vs variant)\n", title)
+	fmt.Fprintf(&b, "%-8s %10s %10s\n", "Domain", "Default", "Variant")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10.2f %10.2f\n", r.Domain, r.Default.Overall, r.Variant.Overall)
+	}
+	return b.String()
+}

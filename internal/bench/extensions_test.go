@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalabilityShape(t *testing.T) {
+	rows := Scalability([]int{40, 160}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Linguistic <= 0 || r.Structural <= 0 || r.Hybrid <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+	}
+	// 4× the elements is ~16× the pair table; demand at least 4× cost
+	// growth on the hybrid to confirm superlinearity without flaking.
+	if rows[1].Hybrid < rows[0].Hybrid*4 {
+		t.Logf("warning: growth weaker than expected: %v -> %v", rows[0].Hybrid, rows[1].Hybrid)
+	}
+	out := FormatScalability(rows)
+	if !strings.Contains(out, "160") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestRobustnessShape(t *testing.T) {
+	rows := Robustness(80, []float64{0, 0.4})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	zero, perturbed := rows[0], rows[1]
+	// At zero intensity the pair is identical: the hybrid must be
+	// near-perfect (every node maps to itself).
+	if zero.Hybrid.F1 < 0.95 {
+		t.Fatalf("hybrid F1 at zero intensity = %v", zero.Hybrid.F1)
+	}
+	// Quality decays with perturbation.
+	if perturbed.Hybrid.F1 > zero.Hybrid.F1 {
+		t.Fatalf("hybrid improved under perturbation: %v -> %v",
+			zero.Hybrid.F1, perturbed.Hybrid.F1)
+	}
+	// The hybrid holds up at least as well as the linguistic baseline.
+	if perturbed.Hybrid.F1 < perturbed.Linguistic.F1-0.05 {
+		t.Fatalf("hybrid (%v) collapsed below linguistic (%v) at 0.4",
+			perturbed.Hybrid.F1, perturbed.Linguistic.F1)
+	}
+	out := FormatRobustness(rows)
+	if !strings.Contains(out, "0.40") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestAblationLabelGate(t *testing.T) {
+	rows := AblationLabelGate()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The gate never hurts Overall on the corpus: removing it can
+		// only add label-less (structure-coincidence) predictions.
+		if r.Variant.Overall > r.Default.Overall+1e-9 {
+			t.Errorf("%s: ungated (%v) beat gated (%v)",
+				r.Domain, r.Variant.Overall, r.Default.Overall)
+		}
+	}
+	out := FormatAblation("label gate", rows)
+	if !strings.Contains(out, "label gate") || !strings.Contains(out, "Protein") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstanceBlendShape(t *testing.T) {
+	rows, err := InstanceBlend(40, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	clean, renamed := rows[0], rows[1]
+	// With labels intact, the hybrid is near-perfect.
+	if clean.Hybrid.F1 < 0.95 {
+		t.Fatalf("hybrid F1 at zero renames = %v", clean.Hybrid.F1)
+	}
+	// Opaque renames destroy the hybrid's label evidence...
+	if renamed.Hybrid.F1 > 0.3 {
+		t.Fatalf("hybrid F1 under opaque renames = %v, want collapse", renamed.Hybrid.F1)
+	}
+	// ...but the instance blend keeps matching on field statistics.
+	if renamed.Blend.F1 < renamed.Hybrid.F1+0.3 {
+		t.Fatalf("blend F1 = %v vs hybrid %v: instance evidence not helping",
+			renamed.Blend.F1, renamed.Hybrid.F1)
+	}
+	out := FormatInstanceBlend(rows)
+	if !strings.Contains(out, "RenameProb") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

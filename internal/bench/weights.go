@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"qmatch/internal/core"
+	"qmatch/internal/dataset"
+	"qmatch/internal/match"
+)
+
+// Table 2: the weight-determination experiment. The paper sweeps weight
+// assignments, compares the matcher's output against expected (gold)
+// matches, and reports that WL in [0.25, 0.4], WP and WH in [0.1, 0.2] and
+// WC in [0.3, 0.5] were ideal, selecting 0.3/0.2/0.1/0.4. We regenerate the
+// sweep over the same grid (step 0.05, weights summing to 1), scoring each
+// assignment by the mean Overall measure across schema pairs from different
+// domains.
+
+// WeightSweepResult is one grid point of the Table 2 experiment.
+type WeightSweepResult struct {
+	Weights     core.AxisWeights
+	MeanOverall float64
+	// PerDomain maps domain name to the Overall measure under these
+	// weights.
+	PerDomain map[string]float64
+}
+
+// sweepGrid enumerates the paper's weight ranges at the given step,
+// keeping only assignments that sum to 1.
+func sweepGrid(step float64) []core.AxisWeights {
+	var grid []core.AxisWeights
+	steps := func(lo, hi float64) []float64 {
+		var out []float64
+		for v := lo; v <= hi+1e-9; v += step {
+			out = append(out, math.Round(v*100)/100)
+		}
+		return out
+	}
+	for _, wl := range steps(0.25, 0.40) {
+		for _, wp := range steps(0.10, 0.20) {
+			for _, wh := range steps(0.10, 0.20) {
+				for _, wc := range steps(0.30, 0.50) {
+					w := core.AxisWeights{Label: wl, Properties: wp, Level: wh, Children: wc}
+					if w.Valid() {
+						grid = append(grid, w)
+					}
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// Table2WeightSweep runs the weight-determination experiment over the
+// given pairs (nil selects the PO, Book and DCMD tasks — "different pairs
+// of schemas from different domains"; the protein task is excluded from
+// the sweep for runtime, exactly the sort of sampling a tuning pass uses).
+// Results are sorted by descending mean Overall.
+func Table2WeightSweep(pairs []dataset.Pair) []WeightSweepResult {
+	if pairs == nil {
+		pairs = []dataset.Pair{dataset.POPair(), dataset.BookPair(), dataset.DCMDPair()}
+	}
+	grid := sweepGrid(0.05)
+	results := make([]WeightSweepResult, 0, len(grid))
+	for _, w := range grid {
+		h := core.NewHybrid(nil)
+		h.Weights = w
+		r := WeightSweepResult{Weights: w, PerDomain: map[string]float64{}}
+		total := 0.0
+		for _, p := range pairs {
+			e := match.Evaluate(h.Match(p.Source, p.Target), p.Gold)
+			r.PerDomain[p.Name] = e.Overall
+			total += e.Overall
+		}
+		r.MeanOverall = total / float64(len(pairs))
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].MeanOverall > results[j].MeanOverall
+	})
+	return results
+}
+
+// BestWeights returns the top grid point of a sweep (the sweep must be
+// non-empty).
+func BestWeights(results []WeightSweepResult) core.AxisWeights {
+	return results[0].Weights
+}
+
+// FormatTable2 renders the sweep summary: the chosen weights (top of the
+// sweep) followed by the top-k grid points.
+func FormatTable2(results []WeightSweepResult, topK int) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Weight for the Different Axes (sweep result)\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-8s\n", "Label", "Properties", "Level", "Children")
+	best := BestWeights(results)
+	fmt.Fprintf(&b, "%-8.2f %-10.2f %-8.2f %-8.2f\n",
+		best.Label, best.Properties, best.Level, best.Children)
+	fmt.Fprintf(&b, "(paper's choice: 0.30 0.20 0.10 0.40)\n\n")
+	if topK > len(results) {
+		topK = len(results)
+	}
+	b.WriteString("Top grid points by mean Overall:\n")
+	for i := 0; i < topK; i++ {
+		r := results[i]
+		fmt.Fprintf(&b, "%2d. %s  mean Overall=%.3f\n", i+1, r.Weights, r.MeanOverall)
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+// Package composite implements a COMA-style composite matcher — the
+// comparison system the QMatch paper names as ongoing work ("evaluating
+// the quality of match and the performance of QMatch with other hybrid and
+// composite algorithms such as CUPID and COMA"). Where QMatch is a hybrid
+// (one algorithm combining several kinds of evidence inside its formula),
+// a composite matcher runs several *independent* matchers, aggregates
+// their similarity matrices, and selects correspondences from the
+// aggregate (Do & Rahm, VLDB 2002).
+//
+// The package provides the three COMA building blocks:
+//
+//   - aggregation: Max, Min, Average, Weighted
+//   - direction:   forward (source→target best matches)
+//   - selection:   MaxN, MaxDelta, Threshold (composable)
+package composite
+
+import (
+	"fmt"
+	"sort"
+
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// PairScorer produces a full similarity table between two schemas —
+// the granularity composite aggregation needs. Both baseline matchers and
+// the hybrid expose this shape.
+type PairScorer interface {
+	Name() string
+	Pairs(src, tgt *xmltree.Node) []match.ScoredPair
+}
+
+// Aggregation combines the per-matcher scores of one node pair.
+type Aggregation int
+
+const (
+	// Average takes the arithmetic mean of the constituent scores.
+	Average Aggregation = iota
+	// Max takes the highest constituent score (optimistic).
+	Max
+	// Min takes the lowest constituent score (pessimistic).
+	Min
+	// Weighted takes a weighted mean using the matcher weights.
+	Weighted
+)
+
+// String returns the aggregation name.
+func (a Aggregation) String() string {
+	switch a {
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	case Weighted:
+		return "weighted"
+	default:
+		return "average"
+	}
+}
+
+// Selection extracts correspondences from the aggregated table.
+type Selection struct {
+	// Threshold drops pairs below this aggregate score (default 0.5).
+	Threshold float64
+	// MaxN keeps at most N candidate targets per source before the
+	// one-to-one pass (0 = unlimited).
+	MaxN int
+	// Delta additionally keeps only candidates within Delta of each
+	// source's best candidate (0 = disabled).
+	Delta float64
+	// OneToOne enforces an injective mapping via greedy stable
+	// selection (default true via DefaultSelection).
+	OneToOne bool
+}
+
+// DefaultSelection mirrors COMA's commonly used MaxDelta+threshold
+// configuration.
+func DefaultSelection() Selection {
+	return Selection{Threshold: 0.5, MaxN: 3, Delta: 0.02, OneToOne: true}
+}
+
+// Matcher is a composite matcher over a set of constituent pair scorers.
+type Matcher struct {
+	// Scorers are the constituent matchers.
+	Scorers []PairScorer
+	// Weights holds one weight per scorer, used by the Weighted
+	// aggregation (missing or non-positive entries default to 1).
+	Weights []float64
+	// Aggregate selects the combination strategy.
+	Aggregate Aggregation
+	// Select configures correspondence extraction.
+	Select Selection
+}
+
+// New returns a composite matcher with Average aggregation and the default
+// selection over the given scorers.
+func New(scorers ...PairScorer) *Matcher {
+	return &Matcher{
+		Scorers:   scorers,
+		Aggregate: Average,
+		Select:    DefaultSelection(),
+	}
+}
+
+// Name implements match.Algorithm.
+func (m *Matcher) Name() string {
+	return fmt.Sprintf("composite(%s,%d)", m.Aggregate, len(m.Scorers))
+}
+
+// pairKey identifies a node pair across matrices.
+type pairKey struct{ s, t *xmltree.Node }
+
+// Table computes the aggregated similarity table.
+func (m *Matcher) Table(src, tgt *xmltree.Node) []match.ScoredPair {
+	if len(m.Scorers) == 0 {
+		return nil
+	}
+	type acc struct {
+		sum, wsum, min, max float64
+		n                   int
+	}
+	table := map[pairKey]*acc{}
+	var order []pairKey // deterministic iteration
+	for i, sc := range m.Scorers {
+		w := 1.0
+		if i < len(m.Weights) && m.Weights[i] > 0 {
+			w = m.Weights[i]
+		}
+		for _, p := range sc.Pairs(src, tgt) {
+			k := pairKey{p.Source, p.Target}
+			a, ok := table[k]
+			if !ok {
+				a = &acc{min: p.Score, max: p.Score}
+				table[k] = a
+				order = append(order, k)
+			}
+			a.sum += p.Score
+			a.wsum += w * p.Score
+			a.n++
+			if p.Score < a.min {
+				a.min = p.Score
+			}
+			if p.Score > a.max {
+				a.max = p.Score
+			}
+		}
+	}
+	wTotal := 0.0
+	for i := range m.Scorers {
+		if i < len(m.Weights) && m.Weights[i] > 0 {
+			wTotal += m.Weights[i]
+		} else {
+			wTotal++
+		}
+	}
+	out := make([]match.ScoredPair, 0, len(order))
+	for _, k := range order {
+		a := table[k]
+		var v float64
+		switch m.Aggregate {
+		case Max:
+			v = a.max
+		case Min:
+			v = a.min
+		case Weighted:
+			v = a.wsum / wTotal
+		default:
+			v = a.sum / float64(a.n)
+		}
+		out = append(out, match.ScoredPair{Source: k.s, Target: k.t, Score: v})
+	}
+	return out
+}
+
+// Match implements match.Algorithm: aggregate, apply MaxN/Delta candidate
+// filtering per source, then threshold and (optionally) 1:1 selection.
+func (m *Matcher) Match(src, tgt *xmltree.Node) []match.Correspondence {
+	table := m.Table(src, tgt)
+	filtered := m.filterCandidates(table)
+	if m.Select.OneToOne {
+		return match.Select(filtered, m.Select.Threshold)
+	}
+	return match.SelectAll(filtered, m.Select.Threshold)
+}
+
+// filterCandidates applies the MaxN and Delta strategies per source node.
+func (m *Matcher) filterCandidates(table []match.ScoredPair) []match.ScoredPair {
+	if m.Select.MaxN <= 0 && m.Select.Delta <= 0 {
+		return table
+	}
+	bySource := map[*xmltree.Node][]match.ScoredPair{}
+	var sources []*xmltree.Node
+	for _, p := range table {
+		if _, ok := bySource[p.Source]; !ok {
+			sources = append(sources, p.Source)
+		}
+		bySource[p.Source] = append(bySource[p.Source], p)
+	}
+	var out []match.ScoredPair
+	for _, s := range sources {
+		cands := bySource[s]
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Score != cands[j].Score {
+				return cands[i].Score > cands[j].Score
+			}
+			return cands[i].Target.Path() < cands[j].Target.Path()
+		})
+		if m.Select.MaxN > 0 && len(cands) > m.Select.MaxN {
+			cands = cands[:m.Select.MaxN]
+		}
+		if m.Select.Delta > 0 && len(cands) > 0 {
+			best := cands[0].Score
+			kept := cands[:0]
+			for _, c := range cands {
+				if best-c.Score <= m.Select.Delta {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		out = append(out, cands...)
+	}
+	return out
+}
+
+// TreeScore implements match.Algorithm: the aggregate score of the two
+// roots.
+func (m *Matcher) TreeScore(src, tgt *xmltree.Node) float64 {
+	for _, p := range m.Table(src, tgt) {
+		if p.Source == src && p.Target == tgt {
+			return p.Score
+		}
+	}
+	return 0
+}
+
+var _ match.Algorithm = (*Matcher)(nil)

@@ -1,0 +1,223 @@
+package composite
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/core"
+	"qmatch/internal/dataset"
+	"qmatch/internal/linguistic"
+	"qmatch/internal/match"
+	"qmatch/internal/structural"
+	"qmatch/internal/xmltree"
+)
+
+func defaultComposite() *Matcher {
+	return New(linguistic.New(nil), structural.New())
+}
+
+// fakeScorer returns fixed scores for testing aggregation arithmetic.
+type fakeScorer struct {
+	name  string
+	score float64
+}
+
+func (f fakeScorer) Name() string { return f.name }
+
+func (f fakeScorer) Pairs(src, tgt *xmltree.Node) []match.ScoredPair {
+	var out []match.ScoredPair
+	for _, s := range src.Nodes() {
+		for _, t := range tgt.Nodes() {
+			out = append(out, match.ScoredPair{Source: s, Target: t, Score: f.score})
+		}
+	}
+	return out
+}
+
+func singleNodePair() (*xmltree.Node, *xmltree.Node) {
+	return xmltree.New("A", xmltree.Elem("string")), xmltree.New("B", xmltree.Elem("string"))
+}
+
+func TestAggregationArithmetic(t *testing.T) {
+	src, tgt := singleNodePair()
+	lo := fakeScorer{"lo", 0.2}
+	hi := fakeScorer{"hi", 0.8}
+	cases := []struct {
+		agg     Aggregation
+		weights []float64
+		want    float64
+	}{
+		{Average, nil, 0.5},
+		{Max, nil, 0.8},
+		{Min, nil, 0.2},
+		{Weighted, []float64{3, 1}, (3*0.2 + 1*0.8) / 4},
+	}
+	for _, c := range cases {
+		m := New(lo, hi)
+		m.Aggregate = c.agg
+		m.Weights = c.weights
+		got := m.TreeScore(src, tgt)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: score = %v, want %v", c.agg, got, c.want)
+		}
+	}
+}
+
+func TestWeightedDefaultsMissingWeights(t *testing.T) {
+	src, tgt := singleNodePair()
+	m := New(fakeScorer{"a", 0.4}, fakeScorer{"b", 0.8})
+	m.Aggregate = Weighted
+	m.Weights = []float64{2} // second scorer defaults to weight 1
+	want := (2*0.4 + 1*0.8) / 3
+	if got := m.TreeScore(src, tgt); got-want > 1e-9 || want-got > 1e-9 {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyComposite(t *testing.T) {
+	src, tgt := singleNodePair()
+	m := New()
+	if got := m.Table(src, tgt); got != nil {
+		t.Fatalf("table = %v", got)
+	}
+	if got := m.TreeScore(src, tgt); got != 0 {
+		t.Fatalf("score = %v", got)
+	}
+}
+
+func TestMatchOneToOne(t *testing.T) {
+	p := dataset.POPair()
+	cs := defaultComposite().Match(p.Source, p.Target)
+	if len(cs) == 0 {
+		t.Fatal("no correspondences")
+	}
+	seenS, seenT := map[string]bool{}, map[string]bool{}
+	for _, c := range cs {
+		if seenS[c.Source] || seenT[c.Target] {
+			t.Fatalf("not 1:1: %v", c)
+		}
+		seenS[c.Source], seenT[c.Target] = true, true
+	}
+}
+
+func TestMatchUnconstrained(t *testing.T) {
+	p := dataset.POPair()
+	m := defaultComposite()
+	m.Select.OneToOne = false
+	m.Select.MaxN = 0
+	m.Select.Delta = 0
+	all := m.Match(p.Source, p.Target)
+	m.Select.OneToOne = true
+	oneToOne := m.Match(p.Source, p.Target)
+	if len(all) < len(oneToOne) {
+		t.Fatalf("unconstrained (%d) < 1:1 (%d)", len(all), len(oneToOne))
+	}
+}
+
+func TestMaxNFilter(t *testing.T) {
+	p := dataset.POPair()
+	m := defaultComposite()
+	m.Select.OneToOne = false
+	m.Select.Delta = 0
+	m.Select.MaxN = 1
+	m.Select.Threshold = 0
+	cs := m.Match(p.Source, p.Target)
+	perSource := map[string]int{}
+	for _, c := range cs {
+		perSource[c.Source]++
+	}
+	for s, n := range perSource {
+		if n > 1 {
+			t.Fatalf("MaxN=1 violated for %s: %d candidates", s, n)
+		}
+	}
+}
+
+func TestDeltaFilter(t *testing.T) {
+	src, _ := singleNodePair()
+	tgt := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("x", xmltree.Elem("string")),
+		xmltree.New("y", xmltree.Elem("string")),
+	)
+	// Craft a scorer with distinct per-target scores.
+	scorer := pairListScorer{pairs: []match.ScoredPair{
+		{Source: src, Target: tgt.Children[0], Score: 0.9},
+		{Source: src, Target: tgt.Children[1], Score: 0.6}, // 0.3 below best
+	}}
+	m := New(scorer)
+	m.Select.OneToOne = false
+	m.Select.MaxN = 0
+	m.Select.Delta = 0.1
+	m.Select.Threshold = 0
+	cs := m.Match(src, tgt)
+	if len(cs) != 1 || cs[0].Score != 0.9 {
+		t.Fatalf("delta filter kept %v", cs)
+	}
+}
+
+type pairListScorer struct{ pairs []match.ScoredPair }
+
+func (p pairListScorer) Name() string { return "list" }
+func (p pairListScorer) Pairs(src, tgt *xmltree.Node) []match.ScoredPair {
+	return p.pairs
+}
+
+func TestCompositeQualityOnCorpus(t *testing.T) {
+	// The linguistic+structural composite must find real matches on the
+	// PO task; the max-aggregation variant should be at least as
+	// generous as average.
+	p := dataset.POPair()
+	avg := defaultComposite()
+	mx := defaultComposite()
+	mx.Aggregate = Max
+	eAvg := match.Evaluate(avg.Match(p.Source, p.Target), p.Gold)
+	eMax := match.Evaluate(mx.Match(p.Source, p.Target), p.Gold)
+	if eAvg.TruePositives == 0 || eMax.TruePositives == 0 {
+		t.Fatalf("composite found no real matches: avg=%+v max=%+v", eAvg, eMax)
+	}
+	// Aggregate dominance holds at the table level: max >= average >=
+	// min for every pair (selection on top is not monotone in this).
+	mn := defaultComposite()
+	mn.Aggregate = Min
+	avgT, maxT, minT := avg.Table(p.Source, p.Target), mx.Table(p.Source, p.Target), mn.Table(p.Source, p.Target)
+	for i := range avgT {
+		if maxT[i].Score < avgT[i].Score-1e-9 || avgT[i].Score < minT[i].Score-1e-9 {
+			t.Fatalf("aggregate dominance violated at %s vs %s: min=%v avg=%v max=%v",
+				avgT[i].Source.Path(), avgT[i].Target.Path(),
+				minT[i].Score, avgT[i].Score, maxT[i].Score)
+		}
+	}
+}
+
+func TestCompositeWithHybridConstituent(t *testing.T) {
+	// The hybrid itself can serve as a constituent (COMA treats hybrid
+	// matchers as building blocks).
+	p := dataset.POPair()
+	m := New(core.NewHybrid(nil), linguistic.New(nil))
+	m.Select.Threshold = 0.75
+	cs := m.Match(p.Source, p.Target)
+	e := match.Evaluate(cs, p.Gold)
+	if e.TruePositives < 7 {
+		t.Fatalf("hybrid-backed composite weak: %+v", e)
+	}
+}
+
+func TestName(t *testing.T) {
+	m := defaultComposite()
+	if got := m.Name(); !strings.Contains(got, "composite(average,2)") {
+		t.Fatalf("name = %q", got)
+	}
+	m.Aggregate = Weighted
+	if got := m.Name(); !strings.Contains(got, "weighted") {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestAggregationString(t *testing.T) {
+	want := map[Aggregation]string{Average: "average", Max: "max", Min: "min", Weighted: "weighted"}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d = %q, want %q", a, a.String(), s)
+		}
+	}
+}

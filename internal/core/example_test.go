@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"qmatch/internal/core"
+	"qmatch/internal/dataset"
+)
+
+// ExampleMatcher_Tree walks the paper's running example: the PO schema of
+// Figure 1 matched against the Purchase Order schema of Figure 2.
+func ExampleMatcher_Tree() {
+	src, tgt := dataset.PO1(), dataset.PO2()
+	m := core.NewMatcher(nil)
+	res := m.Tree(src, tgt)
+	fmt.Printf("root class: %s\n", res.Root.Class)
+
+	lines := src.Find("PO/PurchaseInfo/Lines")
+	items := tgt.Find("PurchaseOrder/Items")
+	q, _ := res.Pair(lines, items)
+	fmt.Printf("Lines vs Items: %s, label %s, coverage %s\n",
+		q.Class, q.LabelKind, q.Coverage)
+	// Output:
+	// root class: total relaxed
+	// Lines vs Items: total relaxed, label relaxed, coverage total
+}
+
+// ExampleHybrid_Match selects the one-to-one correspondences.
+func ExampleHybrid_Match() {
+	h := core.NewHybrid(nil)
+	cs := h.Match(dataset.PO1(), dataset.PO2())
+	fmt.Println(cs[0])
+	fmt.Printf("found %d correspondences\n", len(cs))
+	// Output:
+	// PO/OrderNo -> PurchaseOrder/OrderNo (1.00)
+	// found 9 correspondences
+}
+
+// ExampleDefaultWeights shows the paper's Table 2 weights.
+func ExampleDefaultWeights() {
+	fmt.Println(core.DefaultWeights())
+	// Output:
+	// WL=0.30 WP=0.20 WH=0.10 WC=0.40
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainLeafPair(t *testing.T) {
+	src, tgt := poSource(), poTarget()
+	m := defaultMatcher()
+	r := m.Tree(src, tgt)
+	out := m.Explain(r, src.Find("PO/PurchaseInfo/Lines/Quantity"), tgt.Find("PurchaseOrder/Items/Qty"))
+	for _, want := range []string{
+		"QoM(PO/PurchaseInfo/Lines/Quantity, PurchaseOrder/Items/Qty)",
+		"total relaxed",
+		"label      0.850 (relaxed)",
+		"properties 1.000 (exact)",
+		"leaf (exact by definition)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainInnerPair(t *testing.T) {
+	src, tgt := poSource(), poTarget()
+	m := defaultMatcher()
+	r := m.Tree(src, tgt)
+	out := m.Explain(r, src.Find("PO/PurchaseInfo/Lines"), tgt.Find("PurchaseOrder/Items"))
+	for _, want := range []string{
+		"child contributions",
+		"Item",
+		"Quantity",
+		"✓",
+		"coverage total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUnknownPair(t *testing.T) {
+	src, tgt := poSource(), poTarget()
+	m := defaultMatcher()
+	r := m.Tree(src, tgt)
+	other := poSource() // nodes not in the result
+	out := m.Explain(r, other, tgt)
+	if !strings.Contains(out, "no QoM recorded") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestExplainTop(t *testing.T) {
+	src, tgt := poSource(), poTarget()
+	m := defaultMatcher()
+	r := m.Tree(src, tgt)
+	out := m.ExplainTop(r, 2)
+	if strings.Count(out, "QoM(") != 2 {
+		t.Fatalf("top explanations:\n%s", out)
+	}
+}
+
+func TestBestPerSource(t *testing.T) {
+	src, tgt := poSource(), poTarget()
+	m := defaultMatcher()
+	r := m.Tree(src, tgt)
+	best := r.BestPerSource()
+	if len(best) != src.Size() {
+		t.Fatalf("rows = %d, want %d", len(best), src.Size())
+	}
+	for _, p := range best {
+		if p.Source.Label == "OrderNo" && p.Target.Label != "OrderNo" {
+			t.Fatalf("OrderNo best = %s", p.Target.Label)
+		}
+	}
+	// Ordered by source path.
+	for i := 1; i < len(best); i++ {
+		if best[i-1].Source.Path() > best[i].Source.Path() {
+			t.Fatal("not ordered")
+		}
+	}
+}

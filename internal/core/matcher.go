@@ -1,0 +1,288 @@
+package core
+
+import (
+	"sort"
+
+	"qmatch/internal/lingo"
+	"qmatch/internal/xmltree"
+)
+
+// Matcher is the hybrid QMatch algorithm (paper §4, Fig. 3). It combines a
+// linguistic label matcher, the property matcher, the level test and the
+// recursive children match under the axis weights, producing a QoM for
+// every source/target node pair.
+type Matcher struct {
+	// Weights are the axis weights of the match model. They are
+	// normalized to sum to 1 when a match runs.
+	Weights AxisWeights
+	// Threshold is Fig. 3's "threshold value": the minimum QoM for a
+	// child pair to count toward Rw and Rs. Default 0.5. Note that a
+	// leaf pair with no label match but perfect structural agreement
+	// reaches WP + WH + WC = 0.7 under the Table 2 weights, so the
+	// children axis deliberately propagates structure-only overlap —
+	// that is what lets QMatch score the paper's Library/Human example
+	// (Fig. 9) far above the linguistic matcher. Correspondence
+	// *selection* applies a separate label-evidence gate (see Hybrid).
+	Threshold float64
+	// Names is the pluggable linguistic algorithm for the label axis.
+	Names *lingo.NameMatcher
+}
+
+// NewMatcher returns a QMatch matcher with the paper's Table 2 weights,
+// threshold 0.5, and a linguistic matcher over the given thesaurus (nil
+// selects the built-in default thesaurus).
+func NewMatcher(th *lingo.Thesaurus) *Matcher {
+	if th == nil {
+		th = lingo.Default()
+	}
+	return &Matcher{
+		Weights:   DefaultWeights(),
+		Threshold: 0.5,
+		Names:     lingo.NewNameMatcher(th),
+	}
+}
+
+// Result holds the full pair table of a tree match: the QoM of every
+// (source node, target node) pair, memoized during the recursion — this is
+// what realizes the paper's O(n·m) bound (DESIGN.md §5.1). The table is a
+// dense n×m slice indexed by pre-order position; on the corpus' largest
+// workload (231×3753 nodes) this more than halves the allocation volume a
+// map-based memo would cost.
+type Result struct {
+	Source, Target *xmltree.Node
+	// Root is the QoM of the two schema roots — "the total match value
+	// for the entire source schema tree" the algorithm reports.
+	Root QoM
+
+	srcNodes, tgtNodes []*xmltree.Node
+	srcIdx, tgtIdx     map[*xmltree.Node]int
+	table              []QoM
+	done               []bool
+}
+
+func newResult(src, tgt *xmltree.Node) *Result {
+	r := &Result{
+		Source:   src,
+		Target:   tgt,
+		srcNodes: src.Nodes(),
+		tgtNodes: tgt.Nodes(),
+	}
+	r.srcIdx = make(map[*xmltree.Node]int, len(r.srcNodes))
+	for i, n := range r.srcNodes {
+		r.srcIdx[n] = i
+	}
+	r.tgtIdx = make(map[*xmltree.Node]int, len(r.tgtNodes))
+	for i, n := range r.tgtNodes {
+		r.tgtIdx[n] = i
+	}
+	r.table = make([]QoM, len(r.srcNodes)*len(r.tgtNodes))
+	r.done = make([]bool, len(r.table))
+	return r
+}
+
+// cell returns the dense index of a pair, or -1 when either node is not
+// part of the matched trees.
+func (r *Result) cell(s, t *xmltree.Node) int {
+	i, ok := r.srcIdx[s]
+	if !ok {
+		return -1
+	}
+	j, ok := r.tgtIdx[t]
+	if !ok {
+		return -1
+	}
+	return i*len(r.tgtNodes) + j
+}
+
+// PairQoM is one entry of the pair table.
+type PairQoM struct {
+	Source, Target *xmltree.Node
+	QoM            QoM
+}
+
+// Tree matches the source tree against the target tree, computing the QoM
+// of every node pair (including pairs at different relative depths, as in
+// the paper's PurchaseInfo vs Purchase Order example) and returns the
+// complete result.
+func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
+	r := newResult(src, tgt)
+	w := m.Weights.Normalized()
+	for _, s := range r.srcNodes {
+		for _, t := range r.tgtNodes {
+			m.pair(r, w, s, t)
+		}
+	}
+	r.Root = r.table[r.cell(src, tgt)]
+	return r
+}
+
+// MatchNodes computes the QoM of a single subtree pair.
+func (m *Matcher) MatchNodes(s, t *xmltree.Node) QoM {
+	r := newResult(s, t)
+	return m.pair(r, m.Weights.Normalized(), s, t)
+}
+
+// pair computes (or returns the memoized) QoM of one node pair.
+func (m *Matcher) pair(r *Result, w AxisWeights, s, t *xmltree.Node) QoM {
+	idx := r.cell(s, t)
+	if r.done[idx] {
+		return r.table[idx]
+	}
+	// Break recursive-schema cycles defensively: mark in-progress pairs
+	// with the zero entry (schema trees are acyclic, so this only
+	// guards against malformed input).
+	r.done[idx] = true
+
+	var q QoM
+	q.Label, q.LabelKind = m.Names.Match(s.Label, t.Label)
+	pq := MatchProperties(s.Props, t.Props)
+	q.Properties, q.PropertiesKind = pq.Score, pq.Kind
+
+	if s.IsLeaf() && t.IsLeaf() {
+		// Leaf match (Eq. 2): label and properties compared; level and
+		// children match exactly by default — the constant C = WH + WC.
+		q.Leaf = true
+		q.LevelExact = true
+		q.Level = 1
+		q.SubtreeWeight, q.CardinalityRatio = 1, 1
+		q.Children = 1
+		q.Coverage = Total
+		q.ChildrenAllExact = true
+	} else {
+		q.LevelExact = levelEqual(s, t)
+		if q.LevelExact {
+			q.Level = 1
+		}
+		// Children axis (Eq. 3–5): each source child contributes its
+		// best-matching target candidate when that match clears the
+		// threshold. Candidates are the target's children plus the
+		// target node itself — the paper's §2.2 walkthrough matches
+		// the source child PurchaseInfo against the target *root*
+		// Purchase Order, so a source nested one level deeper than
+		// the target can still achieve coverage.
+		//
+		// Two notions are tracked separately. The *quantitative* Rw/Rs
+		// follow Fig. 3's threshold on the QoM value, which lets pure
+		// structural agreement propagate (the Fig. 9 behaviour). The
+		// *qualitative* coverage classification (total/partial, §2.1)
+		// additionally requires the child's best pair not to classify
+		// as NoMatch — a label-less structural coincidence contributes
+		// weight but does not make a child "have a match".
+		sum := 0.0
+		count := 0
+		covered := 0
+		allExact := true
+		for _, cs := range s.Children {
+			var best QoM
+			for _, ct := range t.Children {
+				cq := m.pair(r, w, cs, ct)
+				if cq.Value > best.Value {
+					best = cq
+				}
+			}
+			if !cs.IsLeaf() {
+				if cq := m.pair(r, w, cs, t); cq.Value > best.Value {
+					best = cq
+				}
+			}
+			// Epsilon guards the common case of a child sitting
+			// exactly at the threshold under inexact float sums.
+			if best.Value >= m.Threshold-1e-9 {
+				sum += best.Value
+				count++
+				if best.Class != NoMatch {
+					covered++
+					if best.Class != TotalExact {
+						allExact = false
+					}
+				}
+			}
+		}
+		if n := len(s.Children); n > 0 {
+			q.SubtreeWeight = sum / float64(n)
+			q.CardinalityRatio = float64(count) / float64(n)
+			switch {
+			case covered == n:
+				q.Coverage = Total
+			case covered > 0:
+				q.Coverage = Partial
+			}
+		}
+		q.Children = (q.SubtreeWeight + q.CardinalityRatio) / 2
+		q.ChildrenAllExact = allExact && covered > 0
+	}
+
+	q.Value = w.Label*q.Label + w.Properties*q.Properties +
+		w.Level*q.Level + w.Children*q.Children
+	q.classify()
+
+	r.table[idx] = q
+	return q
+}
+
+// levelEqual implements the level axis (QoMH). The paper compares nesting
+// depth for nodes inside a schema ("Lines and Items ... are at different
+// levels") but compares overall tree height for the two roots ("given the
+// height difference between the schema trees, there is no level match
+// between the roots"); both rules are honored here. See DESIGN.md §5.6.
+func levelEqual(s, t *xmltree.Node) bool {
+	if s.Parent() == nil && t.Parent() == nil {
+		return s.MaxDepth() == t.MaxDepth()
+	}
+	return s.Level() == t.Level()
+}
+
+// Pair returns the QoM of a specific node pair from the result table.
+func (r *Result) Pair(s, t *xmltree.Node) (QoM, bool) {
+	idx := r.cell(s, t)
+	if idx < 0 || !r.done[idx] {
+		return QoM{}, false
+	}
+	return r.table[idx], true
+}
+
+// Pairs returns every pair of the table in deterministic (source pre-order,
+// target pre-order) order.
+func (r *Result) Pairs() []PairQoM {
+	out := make([]PairQoM, 0, len(r.table))
+	for i, s := range r.srcNodes {
+		base := i * len(r.tgtNodes)
+		for j, t := range r.tgtNodes {
+			if r.done[base+j] {
+				out = append(out, PairQoM{Source: s, Target: t, QoM: r.table[base+j]})
+			}
+		}
+	}
+	return out
+}
+
+// BestForSource returns the target node with the highest QoM for the given
+// source node, or nil when the source has no scored pairs.
+func (r *Result) BestForSource(s *xmltree.Node) (*xmltree.Node, QoM) {
+	i, ok := r.srcIdx[s]
+	if !ok {
+		return nil, QoM{}
+	}
+	var bestT *xmltree.Node
+	var bestQ QoM
+	base := i * len(r.tgtNodes)
+	for j, t := range r.tgtNodes {
+		if r.done[base+j] && (bestT == nil || r.table[base+j].Value > bestQ.Value) {
+			bestT, bestQ = t, r.table[base+j]
+		}
+	}
+	return bestT, bestQ
+}
+
+// TopPairs returns the n highest-QoM pairs, ties broken by source then
+// target pre-order position.
+func (r *Result) TopPairs(n int) []PairQoM {
+	all := r.Pairs()
+	sort.SliceStable(all, func(i, j int) bool {
+		return all[i].QoM.Value > all[j].QoM.Value
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}

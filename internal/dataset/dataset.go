@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"fmt"
+
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// Pair is one evaluation match task: a source schema, a target schema and
+// (when available) the manually determined real matches.
+type Pair struct {
+	// Name is the domain label the paper uses ("PO", "Book", "DCMD",
+	// "Protein", "XBench", "LibraryHuman").
+	Name           string
+	Source, Target *xmltree.Node
+	// Gold is nil only for tasks without a usable gold standard.
+	Gold *match.Gold
+}
+
+// TotalElements returns the combined element count of the pair — the
+// x-axis of the paper's Figure 4.
+func (p Pair) TotalElements() int {
+	return p.Source.Size() + p.Target.Size()
+}
+
+// POPair returns the PO1 → PO2 task (19 total elements).
+func POPair() Pair {
+	return Pair{Name: "PO", Source: PO1(), Target: PO2(), Gold: POGold()}
+}
+
+// BookPair returns the Article → Book task (24 total elements).
+func BookPair() Pair {
+	return Pair{Name: "Book", Source: Article(), Target: Book(), Gold: BookGold()}
+}
+
+// DCMDPair returns the DCMDItem → DCMDOrd task (91 total elements).
+func DCMDPair() Pair {
+	return Pair{Name: "DCMD", Source: DCMDItem(), Target: DCMDOrd(), Gold: DCMDGold()}
+}
+
+// ProteinPair returns the PIR → PDB task (3984 total elements).
+func ProteinPair() Pair {
+	return Pair{Name: "Protein", Source: PIR(), Target: PDB(), Gold: ProteinGold()}
+}
+
+// XBenchPair returns the Catalog → Catalogue task.
+func XBenchPair() Pair {
+	return Pair{Name: "XBench", Source: XBenchCatalog(), Target: XBenchStore(), Gold: XBenchGold()}
+}
+
+// LibraryHumanPair returns the structurally-identical, linguistically
+// disjoint task of Figures 7–9. Its gold standard is empty: no real
+// semantic matches exist between a library and a human body.
+func LibraryHumanPair() Pair {
+	return Pair{Name: "LibraryHuman", Source: Library(), Target: Human(), Gold: match.NewGold()}
+}
+
+// Pairs returns the four quality-evaluation tasks in the paper's order
+// (Figure 5): PO, Book, DCMD, Protein.
+func Pairs() []Pair {
+	return []Pair{POPair(), BookPair(), DCMDPair(), ProteinPair()}
+}
+
+// SchemaInfo is one row of Table 1.
+type SchemaInfo struct {
+	Name     string
+	Elements int
+	MaxDepth int
+	// PaperElements / PaperDepth are the values Table 1 reports, kept
+	// alongside the measured values for the reproduction report.
+	PaperElements int
+	PaperDepth    int
+}
+
+// Characteristics returns the Table 1 rows, measured from the builders.
+func Characteristics() []SchemaInfo {
+	rows := []struct {
+		name           string
+		tree           *xmltree.Node
+		paperE, paperD int
+	}{
+		{"PO1", PO1(), 10, 3},
+		{"PO2", PO2(), 9, 3},
+		{"Article", Article(), 18, 3},
+		{"Book", Book(), 6, 2},
+		{"DCMDItem", DCMDItem(), 38, 2},
+		{"DCMDOrd", DCMDOrd(), 53, 3},
+		{"PIR", PIR(), 231, 6},
+		{"PDB", PDB(), 3753, 7},
+	}
+	out := make([]SchemaInfo, len(rows))
+	for i, r := range rows {
+		out[i] = SchemaInfo{
+			Name:          r.name,
+			Elements:      r.tree.Size(),
+			MaxDepth:      r.tree.MaxDepth(),
+			PaperElements: r.paperE,
+			PaperDepth:    r.paperD,
+		}
+	}
+	return out
+}
+
+// ByName returns the named schema, for the CLI tools. Known names: PO1,
+// PO2, Article, Book, DCMDItem, DCMDOrd, PIR, PDB, XBenchCatalog,
+// XBenchStore, Library, Human.
+func ByName(name string) (*xmltree.Node, error) {
+	switch name {
+	case "PO1":
+		return PO1(), nil
+	case "PO2":
+		return PO2(), nil
+	case "Article":
+		return Article(), nil
+	case "Book":
+		return Book(), nil
+	case "DCMDItem":
+		return DCMDItem(), nil
+	case "DCMDOrd":
+		return DCMDOrd(), nil
+	case "PIR":
+		return PIR(), nil
+	case "PDB":
+		return PDB(), nil
+	case "XBenchCatalog":
+		return XBenchCatalog(), nil
+	case "XBenchStore":
+		return XBenchStore(), nil
+	case "XBenchArticle":
+		return XBenchArticle(), nil
+	case "XBenchPaper":
+		return XBenchPaper(), nil
+	case "Library":
+		return Library(), nil
+	case "Human":
+		return Human(), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown schema %q", name)
+	}
+}
+
+// Names lists the schemas ByName accepts, in a stable order.
+func Names() []string {
+	return []string{
+		"PO1", "PO2", "Article", "Book", "DCMDItem", "DCMDOrd",
+		"PIR", "PDB", "XBenchCatalog", "XBenchStore",
+		"XBenchArticle", "XBenchPaper", "Library", "Human",
+	}
+}

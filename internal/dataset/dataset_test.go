@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"testing"
+
+	"qmatch/internal/xmltree"
+)
+
+// TestTable1Characteristics pins the corpus to Table 1 of the paper. The
+// one documented divergence is PO2's depth (see the PO2 doc comment).
+func TestTable1Characteristics(t *testing.T) {
+	want := map[string][2]int{ // name -> {elements, maxDepth}
+		"PO1":      {10, 3},
+		"PO2":      {9, 2}, // paper's Table 1 says 3; its own Figure 2 tree has depth 2
+		"Article":  {18, 3},
+		"Book":     {6, 2},
+		"DCMDItem": {38, 2},
+		"DCMDOrd":  {53, 3},
+		"PIR":      {231, 6},
+		"PDB":      {3753, 7},
+	}
+	for _, row := range Characteristics() {
+		w, ok := want[row.Name]
+		if !ok {
+			t.Errorf("unexpected schema %s", row.Name)
+			continue
+		}
+		if row.Elements != w[0] {
+			t.Errorf("%s elements = %d, want %d", row.Name, row.Elements, w[0])
+		}
+		if row.MaxDepth != w[1] {
+			t.Errorf("%s depth = %d, want %d", row.Name, row.MaxDepth, w[1])
+		}
+	}
+	if len(Characteristics()) != 8 {
+		t.Fatalf("rows = %d, want 8", len(Characteristics()))
+	}
+}
+
+// TestFigure4WorkloadSizes pins the x-axis values of Figure 4:
+// 19, 24, 91 and 3984 total elements.
+func TestFigure4WorkloadSizes(t *testing.T) {
+	want := map[string]int{"PO": 19, "Book": 24, "DCMD": 91, "Protein": 3984}
+	for _, p := range Pairs() {
+		if got := p.TotalElements(); got != want[p.Name] {
+			t.Errorf("%s total elements = %d, want %d", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+func TestGoldStandardsValid(t *testing.T) {
+	pairs := append(Pairs(), XBenchPair(), XBenchTCSDPair(), LibraryHumanPair())
+	for _, p := range pairs {
+		if p.Gold == nil {
+			t.Errorf("%s: nil gold", p.Name)
+			continue
+		}
+		if err := p.Gold.Validate(p.Source, p.Target); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGoldSizesReasonable(t *testing.T) {
+	sizes := map[string][2]int{ // name -> {min, max}
+		"PO":         {8, 12},
+		"Book":       {4, 8},
+		"DCMD":       {25, 40},
+		"Protein":    {10, 20},
+		"XBench":     {20, 30},
+		"XBenchTCSD": {15, 22},
+	}
+	pairs := append(Pairs(), XBenchPair(), XBenchTCSDPair())
+	for _, p := range pairs {
+		lim := sizes[p.Name]
+		if n := p.Gold.Size(); n < lim[0] || n > lim[1] {
+			t.Errorf("%s gold size = %d, want in [%d,%d]", p.Name, n, lim[0], lim[1])
+		}
+	}
+	if LibraryHumanPair().Gold.Size() != 0 {
+		t.Error("LibraryHuman gold should be empty")
+	}
+}
+
+// TestPathsUnique guards evaluation correctness: correspondences and gold
+// standards identify nodes by path, so paths must be unique within every
+// corpus schema.
+func TestPathsUnique(t *testing.T) {
+	for _, name := range Names() {
+		tree, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		dup := ""
+		tree.Walk(func(n *xmltree.Node) bool {
+			p := n.Path()
+			if seen[p] {
+				dup = p
+				return false
+			}
+			seen[p] = true
+			return true
+		})
+		if dup != "" {
+			t.Errorf("%s: duplicate path %q", name, dup)
+		}
+	}
+}
+
+func TestBuildersDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := ByName(name)
+		b, _ := ByName(name)
+		if !xmltree.Equal(a, b) {
+			t.Errorf("%s: builder not deterministic", name)
+		}
+		if a == b {
+			t.Errorf("%s: builder returned shared tree", name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestLibraryHumanStructurallyIdentical(t *testing.T) {
+	lib, hum := Library(), Human()
+	// Same shape: equal sizes, depths, and child counts node by node.
+	if lib.Size() != hum.Size() || lib.MaxDepth() != hum.MaxDepth() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			lib.Size(), lib.MaxDepth(), hum.Size(), hum.MaxDepth())
+	}
+	ln, hn := lib.Nodes(), hum.Nodes()
+	for i := range ln {
+		if len(ln[i].Children) != len(hn[i].Children) {
+			t.Fatalf("child count differs at %s vs %s", ln[i].Path(), hn[i].Path())
+		}
+		if ln[i].Props.Type != hn[i].Props.Type {
+			t.Fatalf("type differs at %s vs %s", ln[i].Path(), hn[i].Path())
+		}
+	}
+}
+
+func TestPairsOrder(t *testing.T) {
+	ps := Pairs()
+	want := []string{"PO", "Book", "DCMD", "Protein"}
+	if len(ps) != len(want) {
+		t.Fatalf("pairs = %d", len(ps))
+	}
+	for i, p := range ps {
+		if p.Name != want[i] {
+			t.Fatalf("pair[%d] = %s, want %s", i, p.Name, want[i])
+		}
+	}
+}

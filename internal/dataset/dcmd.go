@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// leafGroup builds an untyped group element with string leaves.
+func leafGroup(label string, leaves ...string) *xmltree.Node {
+	g := xmltree.New(label, xmltree.Elem(""))
+	for _, l := range leaves {
+		g.Add(xmltree.New(l, xmltree.Elem("string")))
+	}
+	return g
+}
+
+// DCMDItem returns the Dublin-Core metadata "item" schema: 38 elements,
+// max depth 2 (Table 1).
+func DCMDItem() *xmltree.Node {
+	return xmltree.NewTree("DCMDItem", xmltree.Elem(""),
+		leafGroup("Identification",
+			"Identifier", "Title", "Creator", "Publisher", "Contributor"),
+		leafGroup("Description",
+			"Subject", "Abstract", "TableOfContents", "Summary"),
+		leafGroup("DateInfo",
+			"Date", "Created", "Issued", "Modified"),
+		leafGroup("FormatInfo",
+			"Format", "Extent", "Medium", "MediaType"),
+		leafGroup("RightsInfo",
+			"Rights", "License", "AccessRights"),
+		leafGroup("RelationInfo",
+			"Relation", "Source", "IsPartOf"),
+		leafGroup("CoverageInfo",
+			"Spatial", "Temporal"),
+		leafGroup("General",
+			"Language", "Type", "Audience", "Provenance"),
+	)
+}
+
+// DCMDOrd returns the Dublin-Core metadata "ordered record" schema: 53
+// elements, max depth 3 (Table 1).
+func DCMDOrd() *xmltree.Node {
+	resource := xmltree.NewTree("Resource", xmltree.Elem(""),
+		leafGroup("Core",
+			"Title", "Creator", "Subject", "Description", "Publisher", "Contributor"),
+		leafGroup("Lifecycle",
+			"Date", "Created", "Issued", "Modified", "Valid"),
+		leafGroup("Technical",
+			"Format", "Extent", "Medium", "MediaType"),
+	)
+	return xmltree.NewTree("DCMDOrd", xmltree.Elem(""),
+		leafGroup("Header",
+			"Identifier", "Title", "Creator", "Publisher", "Date"),
+		resource,
+		leafGroup("Rights",
+			"Rights", "License", "AccessRights", "RightsHolder"),
+		leafGroup("Relations",
+			"Relation", "Source", "IsPartOf", "HasPart", "References"),
+		leafGroup("Classification",
+			"Subject", "Keyword", "Category"),
+		leafGroup("AudienceInfo",
+			"Mediator", "EducationLevel"),
+		leafGroup("Provenance",
+			"ProvenanceStatement", "Custodian"),
+		leafGroup("GeneralInfo",
+			"Language", "Type", "Coverage", "Spatial", "Temporal"),
+	)
+}
+
+// DCMDGold returns the real matches for the DCMDItem → DCMDOrd task.
+// Group elements map to their closest counterpart group; leaves map to the
+// same-named (or synonymous) leaf in the corresponding group.
+func DCMDGold() *match.Gold {
+	return match.NewGold(
+		[2]string{"DCMDItem", "DCMDOrd"},
+		[2]string{"DCMDItem/Identification", "DCMDOrd/Header"},
+		[2]string{"DCMDItem/Identification/Identifier", "DCMDOrd/Header/Identifier"},
+		[2]string{"DCMDItem/Identification/Title", "DCMDOrd/Header/Title"},
+		[2]string{"DCMDItem/Identification/Creator", "DCMDOrd/Header/Creator"},
+		[2]string{"DCMDItem/Identification/Publisher", "DCMDOrd/Header/Publisher"},
+		[2]string{"DCMDItem/Identification/Contributor", "DCMDOrd/Resource/Core/Contributor"},
+		[2]string{"DCMDItem/Description", "DCMDOrd/Resource/Core"},
+		[2]string{"DCMDItem/Description/Subject", "DCMDOrd/Resource/Core/Subject"},
+		[2]string{"DCMDItem/Description/Abstract", "DCMDOrd/Resource/Core/Description"},
+		[2]string{"DCMDItem/DateInfo", "DCMDOrd/Resource/Lifecycle"},
+		[2]string{"DCMDItem/DateInfo/Date", "DCMDOrd/Resource/Lifecycle/Date"},
+		[2]string{"DCMDItem/DateInfo/Created", "DCMDOrd/Resource/Lifecycle/Created"},
+		[2]string{"DCMDItem/DateInfo/Issued", "DCMDOrd/Resource/Lifecycle/Issued"},
+		[2]string{"DCMDItem/DateInfo/Modified", "DCMDOrd/Resource/Lifecycle/Modified"},
+		[2]string{"DCMDItem/FormatInfo", "DCMDOrd/Resource/Technical"},
+		[2]string{"DCMDItem/FormatInfo/Format", "DCMDOrd/Resource/Technical/Format"},
+		[2]string{"DCMDItem/FormatInfo/Extent", "DCMDOrd/Resource/Technical/Extent"},
+		[2]string{"DCMDItem/FormatInfo/Medium", "DCMDOrd/Resource/Technical/Medium"},
+		[2]string{"DCMDItem/FormatInfo/MediaType", "DCMDOrd/Resource/Technical/MediaType"},
+		[2]string{"DCMDItem/RightsInfo", "DCMDOrd/Rights"},
+		[2]string{"DCMDItem/RightsInfo/Rights", "DCMDOrd/Rights/Rights"},
+		[2]string{"DCMDItem/RightsInfo/License", "DCMDOrd/Rights/License"},
+		[2]string{"DCMDItem/RightsInfo/AccessRights", "DCMDOrd/Rights/AccessRights"},
+		[2]string{"DCMDItem/RelationInfo", "DCMDOrd/Relations"},
+		[2]string{"DCMDItem/RelationInfo/Relation", "DCMDOrd/Relations/Relation"},
+		[2]string{"DCMDItem/RelationInfo/Source", "DCMDOrd/Relations/Source"},
+		[2]string{"DCMDItem/RelationInfo/IsPartOf", "DCMDOrd/Relations/IsPartOf"},
+		[2]string{"DCMDItem/CoverageInfo/Spatial", "DCMDOrd/GeneralInfo/Spatial"},
+		[2]string{"DCMDItem/CoverageInfo/Temporal", "DCMDOrd/GeneralInfo/Temporal"},
+		[2]string{"DCMDItem/General/Language", "DCMDOrd/GeneralInfo/Language"},
+		[2]string{"DCMDItem/General/Type", "DCMDOrd/GeneralInfo/Type"},
+		[2]string{"DCMDItem/General/Provenance", "DCMDOrd/Provenance"},
+	)
+}

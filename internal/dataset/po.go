@@ -1,0 +1,71 @@
+// Package dataset provides the evaluation corpus of the QMatch paper
+// (Table 1): the PO1/PO2 purchase-order schemas of Figures 1–2, the Article
+// and Book schemas, the Dublin-Core-style DCMDItem/DCMDOrd schemas, the
+// synthetic PIR/PDB protein schemas, XBench-style catalog schemas, and the
+// Library/Human schemas of Figures 7–8 — together with the manually curated
+// gold standards ("manually determined real matches", §5.1) used by the
+// quality experiments. All builders are deterministic and return fresh
+// trees on every call. Element counts and maximum depths are pinned to
+// Table 1 by the package tests; see DESIGN.md §2 for the substitutions.
+package dataset
+
+import (
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// PO1 returns the PO schema of paper Figure 1: 10 elements, max depth 3.
+func PO1() *xmltree.Node {
+	lines := xmltree.NewTree("Lines", xmltree.Elem(""),
+		xmltree.New("Item", xmltree.Elem("string")),
+		xmltree.New("Quantity", xmltree.Elem("integer")),
+		xmltree.New("UnitOfMeasure", xmltree.Elem("string")),
+	)
+	info := xmltree.NewTree("PurchaseInfo", xmltree.Elem(""),
+		xmltree.New("BillingAddr", xmltree.Elem("string")),
+		xmltree.New("ShippingAddr", xmltree.Elem("string")),
+		lines,
+	)
+	return xmltree.NewTree("PO", xmltree.Elem(""),
+		xmltree.New("OrderNo", xmltree.Elem("integer")),
+		info,
+		xmltree.New("PurchaseDate", xmltree.Elem("date")),
+	)
+}
+
+// PO2 returns the Purchase Order schema of paper Figure 2: 9 elements.
+// Note: Table 1 lists max depth 3 for PO2, but the paper's own running
+// example (§2.1–2.2, on which every worked QoM value depends) describes a
+// tree of depth 2 — Items' children Item#, Qty and UOM are its deepest
+// leaves. We follow the example trees; the discrepancy is the paper's.
+func PO2() *xmltree.Node {
+	items := xmltree.NewTree("Items", xmltree.Elem(""),
+		xmltree.New("Item#", xmltree.Elem("string")),
+		xmltree.New("Qty", xmltree.Elem("integer")),
+		xmltree.New("UOM", xmltree.Elem("string")),
+	)
+	return xmltree.NewTree("PurchaseOrder", xmltree.Elem(""),
+		xmltree.New("OrderNo", xmltree.Elem("integer")),
+		xmltree.New("BillTo", xmltree.Elem("string")),
+		xmltree.New("ShipTo", xmltree.Elem("string")),
+		items,
+		xmltree.New("Date", xmltree.Elem("date")),
+	)
+}
+
+// POGold returns the real matches between PO1 and PO2, following the
+// paper's worked example: every PO1 element has a counterpart.
+func POGold() *match.Gold {
+	return match.NewGold(
+		[2]string{"PO", "PurchaseOrder"},
+		[2]string{"PO/OrderNo", "PurchaseOrder/OrderNo"},
+		[2]string{"PO/PurchaseInfo", "PurchaseOrder"},
+		[2]string{"PO/PurchaseInfo/BillingAddr", "PurchaseOrder/BillTo"},
+		[2]string{"PO/PurchaseInfo/ShippingAddr", "PurchaseOrder/ShipTo"},
+		[2]string{"PO/PurchaseInfo/Lines", "PurchaseOrder/Items"},
+		[2]string{"PO/PurchaseInfo/Lines/Item", "PurchaseOrder/Items/Item#"},
+		[2]string{"PO/PurchaseInfo/Lines/Quantity", "PurchaseOrder/Items/Qty"},
+		[2]string{"PO/PurchaseInfo/Lines/UnitOfMeasure", "PurchaseOrder/Items/UOM"},
+		[2]string{"PO/PurchaseDate", "PurchaseOrder/Date"},
+	)
+}

@@ -1,0 +1,219 @@
+package dataset
+
+import (
+	"fmt"
+
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// The protein schemas. The paper evaluates on schemas derived from the PIR
+// and PDB databases (231 and 3753 element declarations, depths 6 and 7 —
+// Table 1) whose full listings were never published. We synthesize
+// deterministic stand-ins with the same scale: a semantically meaningful
+// skeleton (entry header, protein/compound description, organism taxonomy,
+// references/citations, sequence) that the two schemas share — the planted
+// gold standard — plus large banks of annotation categories with distinct
+// field names, mirroring how PDBML's mmCIF-derived schema reaches thousands
+// of element declarations. See DESIGN.md §2.
+
+// pirSectionFields are the per-section annotation fields of the PIR-style
+// schema.
+// The vocabulary is deliberately disjoint from the PDB field vocabulary:
+// the two databases were curated by different communities, and a matcher
+// must not be handed trivially overlapping annotation names.
+var pirSectionFields = []string{
+	"Evidence", "Curator", "Remark", "Grade", "Lineage", "Revision", "Footnote", "Flag",
+}
+
+// pirSections are the annotation section names of the PIR-style schema.
+var pirSections = []string{
+	"Provenance", "Function", "Localization", "Expression", "Interaction",
+	"Pathway", "Variant", "Modification", "CrossRef", "Comment",
+	"Domain", "Motif", "Family", "Superfamily", "Complex",
+	"Disease", "Isoform", "Genetics", "Alignment", "Curation",
+	"Secondary", "Binding", "Catalytic", "Kinetics", "Stability",
+	"Homology", "Fold", "Ligand", "Cofactor", "Secretion",
+}
+
+// PIR returns the synthetic PIR-style protein schema: exactly 231 elements,
+// max depth 6.
+func PIR() *xmltree.Node {
+	root := xmltree.New("ProteinEntry", xmltree.Elem(""))
+	root.Add(leafGroup("Header", "Uid", "Accession", "Created", "Modified"))
+	root.Add(xmltree.NewTree("Protein", xmltree.Elem(""),
+		xmltree.New("Name", xmltree.Elem("string")),
+		xmltree.New("AltName", xmltree.Elem("string").Optional()),
+		xmltree.NewTree("Organism", xmltree.Elem(""),
+			xmltree.New("Species", xmltree.Elem("string")),
+			xmltree.New("CommonName", xmltree.Elem("string").Optional()),
+			leafGroup("Taxonomy", "Kingdom", "Phylum", "Rank"),
+		),
+	))
+	// Deep reference chain: leaves at depth 6.
+	root.Add(xmltree.NewTree("References", xmltree.Elem("").Repeated(),
+		xmltree.NewTree("Reference", xmltree.Elem(""),
+			xmltree.NewTree("RefInfo", xmltree.Elem(""),
+				xmltree.NewTree("Authors", xmltree.Elem(""),
+					xmltree.NewTree("Author", xmltree.Elem("").Repeated(),
+						xmltree.New("AuthorName", xmltree.Elem("string")),
+					),
+				),
+				xmltree.New("Title", xmltree.Elem("string")),
+				xmltree.NewTree("Journal", xmltree.Elem(""),
+					xmltree.New("JournalName", xmltree.Elem("string")),
+					xmltree.New("Volume", xmltree.Elem("integer")),
+					xmltree.New("Year", xmltree.Elem("gYear")),
+				),
+			),
+			xmltree.New("RefNumber", xmltree.Elem("integer")),
+		),
+	))
+	root.Add(xmltree.NewTree("FeatureList", xmltree.Elem(""),
+		xmltree.NewTree("Feature", xmltree.Elem("").Repeated(),
+			xmltree.New("FeatureType", xmltree.Elem("string")),
+			xmltree.New("Begin", xmltree.Elem("integer")),
+			xmltree.New("End", xmltree.Elem("integer")),
+			xmltree.New("FeatureDescription", xmltree.Elem("string").Optional()),
+		),
+	))
+	root.Add(xmltree.NewTree("Sequence", xmltree.Elem(""),
+		xmltree.New("Length", xmltree.Elem("integer")),
+		xmltree.New("Checksum", xmltree.Elem("string")),
+		xmltree.New("Residues", xmltree.Elem("string")),
+	))
+	fillSections(root, pirSections, pirSectionFields, 231, 0)
+	return root
+}
+
+// pdbCategoryBases seed the mmCIF-style category names of the PDB schema;
+// variants ("...Details", "...Audit", "...History") extend the namespace.
+var pdbCategoryBases = []string{
+	"AtomSite", "Cell", "Symmetry", "Entity", "EntityPoly", "EntitySrcGen",
+	"Struct", "StructAsym", "StructConf", "StructConn", "StructSheet",
+	"Citation", "CitationAuthor", "Exptl", "ExptlCrystal", "RefineLs",
+	"RefineHist", "Reflns", "Database", "DatabasePDB", "ChemComp",
+	"ChemCompAtom", "ChemCompBond", "PdbxDatabaseStatus", "PdbxStructAssembly",
+	"PdbxNonpolyScheme", "PdbxPolySeqScheme", "Software", "AuditAuthor", "AuditConform",
+}
+
+var pdbCategorySuffixes = []string{"", "Archive", "Audit", "History", "Extension"}
+
+// pdbFields are the per-category item names of the PDB schema.
+var pdbFields = []string{
+	"Id", "EntryId", "TypeCode", "ValueText", "ValueScore", "DateCreated",
+	"DateModified", "Symbol", "Formula", "Weight", "Count", "LengthA",
+	"LengthB", "LengthC", "AngleAlpha", "AngleBeta", "AngleGamma", "GroupPdb",
+	"AsymId", "SeqId", "CompId", "AltId", "CartnX", "CartnY", "CartnZ",
+	"Occupancy", "BIsoEquiv", "Charge", "ModelIndex", "MethodCode", "Temperature",
+	"PhValue", "DensityValue", "MatthewsCoeff", "ResolutionHigh", "ResolutionLow",
+	"RFactor", "RFree", "CompletenessPct", "RedundancyFactor", "WavelengthValue",
+	"DetectorType", "SourceLabel", "MonochromatorType",
+}
+
+// PDB returns the synthetic PDB-style protein schema: exactly 3753
+// elements, max depth 7.
+func PDB() *xmltree.Node {
+	root := xmltree.New("PDBEntry", xmltree.Elem(""))
+	root.Add(leafGroup("Header", "IdCode", "Title", "DepositionDate", "RevisionDate", "Classification"))
+	root.Add(leafGroup("Experiment", "Method", "Resolution"))
+	root.Add(xmltree.NewTree("Compound", xmltree.Elem(""),
+		xmltree.New("MoleculeName", xmltree.Elem("string")),
+		xmltree.NewTree("Organism", xmltree.Elem(""),
+			xmltree.New("Species", xmltree.Elem("string")),
+			xmltree.New("TaxonomyId", xmltree.Elem("integer")),
+		),
+	))
+	root.Add(xmltree.NewTree("SequenceInfo", xmltree.Elem(""),
+		xmltree.New("Length", xmltree.Elem("integer")),
+		xmltree.New("Residues", xmltree.Elem("string")),
+	))
+	// Deep structural hierarchy: leaves at depth 7.
+	root.Add(xmltree.NewTree("StructureHierarchy", xmltree.Elem(""),
+		xmltree.NewTree("Assembly", xmltree.Elem(""),
+			xmltree.NewTree("Polymer", xmltree.Elem("").Repeated(),
+				xmltree.NewTree("Chain", xmltree.Elem("").Repeated(),
+					xmltree.NewTree("ResidueRange", xmltree.Elem("").Repeated(),
+						xmltree.NewTree("AtomGroup", xmltree.Elem("").Repeated(),
+							xmltree.New("AtomName", xmltree.Elem("string")),
+							xmltree.New("CoordX", xmltree.Elem("double")),
+							xmltree.New("CoordY", xmltree.Elem("double")),
+							xmltree.New("CoordZ", xmltree.Elem("double")),
+						),
+					),
+				),
+			),
+		),
+	))
+	var categories []string
+	for _, suffix := range pdbCategorySuffixes {
+		for _, base := range pdbCategoryBases {
+			categories = append(categories, base+suffix)
+		}
+	}
+	fillSections(root, categories, pdbFields, 3753, 1)
+	return root
+}
+
+// fillSections appends annotation sections (a group element with typed
+// string leaves) drawn from the given name banks until the tree reaches
+// exactly target nodes. It panics if the skeleton already exceeds the
+// target or the name banks run out — both are construction-time bugs
+// caught by the package tests.
+// phase alternates which parity of field index is optional, so the two
+// schemas' banks do not share an occurrence-constraint pattern either.
+func fillSections(root *xmltree.Node, sections []string, fields []string, target, phase int) {
+	remaining := target - root.Size()
+	if remaining < 0 {
+		panic(fmt.Sprintf("dataset: skeleton of %s has %d nodes, above target %d",
+			root.Label, root.Size(), target))
+	}
+	for i := 0; remaining > 0; i++ {
+		if i >= len(sections) {
+			panic(fmt.Sprintf("dataset: section bank exhausted for %s (%d nodes still needed)",
+				root.Label, remaining))
+		}
+		group := xmltree.New(sections[i], xmltree.Elem("").Optional())
+		remaining-- // the group node itself
+		for j, f := range fields {
+			if remaining == 0 {
+				break
+			}
+			// Alternate required/optional fields, as real annotation
+			// schemas do — uniform occurrence constraints would let
+			// position-aligned but semantically unrelated field banks
+			// masquerade as structural matches.
+			props := xmltree.Elem("string")
+			if j%2 == phase {
+				props = props.Optional()
+			}
+			group.Add(xmltree.New(sections[i]+f, props))
+			remaining--
+		}
+		root.Add(group)
+	}
+}
+
+// ProteinGold returns the real matches planted across the PIR and PDB
+// skeletons. The paper notes manual matching is "nearly impossible" at this
+// scale (Fig. 6 omits proteins); our schemas are synthetic, so the shared
+// core is known by construction and quality can still be evaluated (Fig. 5
+// includes the protein domain).
+func ProteinGold() *match.Gold {
+	return match.NewGold(
+		[2]string{"ProteinEntry", "PDBEntry"},
+		[2]string{"ProteinEntry/Header", "PDBEntry/Header"},
+		[2]string{"ProteinEntry/Header/Accession", "PDBEntry/Header/IdCode"},
+		[2]string{"ProteinEntry/Header/Created", "PDBEntry/Header/DepositionDate"},
+		[2]string{"ProteinEntry/Header/Modified", "PDBEntry/Header/RevisionDate"},
+		[2]string{"ProteinEntry/Protein", "PDBEntry/Compound"},
+		[2]string{"ProteinEntry/Protein/Name", "PDBEntry/Compound/MoleculeName"},
+		[2]string{"ProteinEntry/Protein/Organism", "PDBEntry/Compound/Organism"},
+		[2]string{"ProteinEntry/Protein/Organism/Species", "PDBEntry/Compound/Organism/Species"},
+		[2]string{"ProteinEntry/Sequence", "PDBEntry/SequenceInfo"},
+		[2]string{"ProteinEntry/Sequence/Length", "PDBEntry/SequenceInfo/Length"},
+		[2]string{"ProteinEntry/Sequence/Residues", "PDBEntry/SequenceInfo/Residues"},
+		[2]string{"ProteinEntry/References/Reference/RefInfo/Title", "PDBEntry/Header/Title"},
+		[2]string{"ProteinEntry/References", "PDBEntry/Citation"},
+	)
+}

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// XBench-style schemas. XBench (§5, [16]) is a family of XML DBMS
+// benchmarks; its data-centric single-document (DCSD) class models an
+// e-commerce catalog. We model two catalog schemas the way two vendors
+// would: same domain, different naming and grouping conventions.
+
+// XBenchCatalog returns the first XBench-style catalog schema (33
+// elements, max depth 4).
+func XBenchCatalog() *xmltree.Node {
+	publisher := xmltree.NewTree("Publisher", xmltree.Elem(""),
+		xmltree.New("PublisherName", xmltree.Elem("string")),
+		xmltree.NewTree("ContactInfo", xmltree.Elem(""),
+			xmltree.New("Phone", xmltree.Elem("string")),
+			xmltree.New("Email", xmltree.Elem("string")),
+			xmltree.New("WebSite", xmltree.Elem("anyURI").Optional()),
+		),
+	)
+	address := xmltree.NewTree("Address", xmltree.Elem(""),
+		xmltree.New("Street", xmltree.Elem("string")),
+		xmltree.New("City", xmltree.Elem("string")),
+		xmltree.New("Zip", xmltree.Elem("string")),
+		xmltree.New("Country", xmltree.Elem("string")),
+	)
+	author := xmltree.NewTree("Author", xmltree.Elem("").Repeated(),
+		xmltree.New("FirstName", xmltree.Elem("string")),
+		xmltree.New("LastName", xmltree.Elem("string")),
+		xmltree.New("DateOfBirth", xmltree.Elem("date").Optional()),
+	)
+	item := xmltree.NewTree("Item", xmltree.Elem("").Repeated(),
+		xmltree.New("ItemId", xmltree.Attr("ID")),
+		xmltree.New("Title", xmltree.Elem("string")),
+		author,
+		publisher,
+		xmltree.New("ISBN", xmltree.Elem("string")),
+		xmltree.New("ReleaseDate", xmltree.Elem("date")),
+		xmltree.New("Price", xmltree.Elem("decimal")),
+		xmltree.New("NumberOfPages", xmltree.Elem("integer").Optional()),
+		xmltree.New("Description", xmltree.Elem("string").Optional()),
+	)
+	return xmltree.NewTree("Catalog", xmltree.Elem(""),
+		item,
+		xmltree.NewTree("Store", xmltree.Elem(""),
+			xmltree.New("StoreName", xmltree.Elem("string")),
+			address,
+		),
+	)
+}
+
+// XBenchStore returns the second XBench-style catalog schema (30 elements,
+// max depth 3), the same domain under different conventions.
+func XBenchStore() *xmltree.Node {
+	writer := xmltree.NewTree("Writer", xmltree.Elem("").Repeated(),
+		xmltree.New("GivenName", xmltree.Elem("string")),
+		xmltree.New("Surname", xmltree.Elem("string")),
+		xmltree.New("BirthDate", xmltree.Elem("date").Optional()),
+	)
+	product := xmltree.NewTree("Product", xmltree.Elem("").Repeated(),
+		xmltree.New("ProductNo", xmltree.Attr("ID")),
+		xmltree.New("ProductTitle", xmltree.Elem("string")),
+		writer,
+		xmltree.New("Pub", xmltree.Elem("string")),
+		xmltree.New("BookNumber", xmltree.Elem("string")),
+		xmltree.New("PubDate", xmltree.Elem("date")),
+		xmltree.New("Cost", xmltree.Elem("decimal")),
+		xmltree.New("PageCount", xmltree.Elem("integer").Optional()),
+		xmltree.New("Summary", xmltree.Elem("string").Optional()),
+	)
+	location := xmltree.NewTree("Location", xmltree.Elem(""),
+		xmltree.New("StreetAddress", xmltree.Elem("string")),
+		xmltree.New("Town", xmltree.Elem("string")),
+		xmltree.New("PostalCode", xmltree.Elem("string")),
+		xmltree.New("Nation", xmltree.Elem("string")),
+	)
+	return xmltree.NewTree("Catalogue", xmltree.Elem(""),
+		product,
+		xmltree.NewTree("Shop", xmltree.Elem(""),
+			xmltree.New("ShopName", xmltree.Elem("string")),
+			location,
+			xmltree.New("Telephone", xmltree.Elem("string")),
+			xmltree.New("MailAddress", xmltree.Elem("string")),
+		),
+	)
+}
+
+// XBenchArticle returns an XBench TC/SD-style (text-centric, single
+// document) article schema.
+func XBenchArticle() *xmltree.Node {
+	prolog := xmltree.NewTree("Prolog", xmltree.Elem(""),
+		xmltree.New("ArticleTitle", xmltree.Elem("string")),
+		xmltree.NewTree("AuthorList", xmltree.Elem(""),
+			xmltree.NewTree("AuthorEntry", xmltree.Elem("").Repeated(),
+				xmltree.New("GivenName", xmltree.Elem("string")),
+				xmltree.New("Surname", xmltree.Elem("string")),
+				xmltree.New("Affiliation", xmltree.Elem("string").Optional()),
+			),
+		),
+		xmltree.New("PublicationDate", xmltree.Elem("date")),
+		xmltree.New("Keywords", xmltree.Elem("string").Repeated()),
+	)
+	body := xmltree.NewTree("Body", xmltree.Elem(""),
+		xmltree.New("Abstract", xmltree.Elem("string")),
+		xmltree.NewTree("Section", xmltree.Elem("").Repeated(),
+			xmltree.New("SectionTitle", xmltree.Elem("string")),
+			xmltree.New("Paragraph", xmltree.Elem("string").Repeated()),
+		),
+	)
+	return xmltree.NewTree("ArticleDoc", xmltree.Elem(""),
+		prolog,
+		body,
+		xmltree.NewTree("Epilog", xmltree.Elem(""),
+			xmltree.New("Acknowledgements", xmltree.Elem("string").Optional()),
+			xmltree.New("ReferenceEntry", xmltree.Elem("string").Repeated()),
+		),
+	)
+}
+
+// XBenchPaper returns the counterpart TC/SD-style schema under a second
+// publisher's conventions.
+func XBenchPaper() *xmltree.Node {
+	front := xmltree.NewTree("FrontMatter", xmltree.Elem(""),
+		xmltree.New("PaperTitle", xmltree.Elem("string")),
+		xmltree.NewTree("Contributors", xmltree.Elem(""),
+			xmltree.NewTree("Contributor", xmltree.Elem("").Repeated(),
+				xmltree.New("FirstName", xmltree.Elem("string")),
+				xmltree.New("LastName", xmltree.Elem("string")),
+				xmltree.New("Institution", xmltree.Elem("string").Optional()),
+			),
+		),
+		xmltree.New("IssueDate", xmltree.Elem("date")),
+		xmltree.New("IndexTerms", xmltree.Elem("string").Repeated()),
+	)
+	content := xmltree.NewTree("Content", xmltree.Elem(""),
+		xmltree.New("Summary", xmltree.Elem("string")),
+		xmltree.NewTree("Chapter", xmltree.Elem("").Repeated(),
+			xmltree.New("Heading", xmltree.Elem("string")),
+			xmltree.New("Text", xmltree.Elem("string").Repeated()),
+		),
+	)
+	return xmltree.NewTree("PaperDoc", xmltree.Elem(""),
+		front,
+		content,
+		xmltree.NewTree("BackMatter", xmltree.Elem(""),
+			xmltree.New("Thanks", xmltree.Elem("string").Optional()),
+			xmltree.New("Citation", xmltree.Elem("string").Repeated()),
+		),
+	)
+}
+
+// XBenchTCSDGold returns the real matches for the ArticleDoc → PaperDoc
+// task.
+func XBenchTCSDGold() *match.Gold {
+	return match.NewGold(
+		[2]string{"ArticleDoc", "PaperDoc"},
+		[2]string{"ArticleDoc/Prolog", "PaperDoc/FrontMatter"},
+		[2]string{"ArticleDoc/Prolog/ArticleTitle", "PaperDoc/FrontMatter/PaperTitle"},
+		[2]string{"ArticleDoc/Prolog/AuthorList", "PaperDoc/FrontMatter/Contributors"},
+		[2]string{"ArticleDoc/Prolog/AuthorList/AuthorEntry", "PaperDoc/FrontMatter/Contributors/Contributor"},
+		[2]string{"ArticleDoc/Prolog/AuthorList/AuthorEntry/GivenName", "PaperDoc/FrontMatter/Contributors/Contributor/FirstName"},
+		[2]string{"ArticleDoc/Prolog/AuthorList/AuthorEntry/Surname", "PaperDoc/FrontMatter/Contributors/Contributor/LastName"},
+		[2]string{"ArticleDoc/Prolog/AuthorList/AuthorEntry/Affiliation", "PaperDoc/FrontMatter/Contributors/Contributor/Institution"},
+		[2]string{"ArticleDoc/Prolog/PublicationDate", "PaperDoc/FrontMatter/IssueDate"},
+		[2]string{"ArticleDoc/Prolog/Keywords", "PaperDoc/FrontMatter/IndexTerms"},
+		[2]string{"ArticleDoc/Body", "PaperDoc/Content"},
+		[2]string{"ArticleDoc/Body/Abstract", "PaperDoc/Content/Summary"},
+		[2]string{"ArticleDoc/Body/Section", "PaperDoc/Content/Chapter"},
+		[2]string{"ArticleDoc/Body/Section/SectionTitle", "PaperDoc/Content/Chapter/Heading"},
+		[2]string{"ArticleDoc/Body/Section/Paragraph", "PaperDoc/Content/Chapter/Text"},
+		[2]string{"ArticleDoc/Epilog", "PaperDoc/BackMatter"},
+		[2]string{"ArticleDoc/Epilog/Acknowledgements", "PaperDoc/BackMatter/Thanks"},
+		[2]string{"ArticleDoc/Epilog/ReferenceEntry", "PaperDoc/BackMatter/Citation"},
+	)
+}
+
+// XBenchTCSDPair returns the text-centric XBench task.
+func XBenchTCSDPair() Pair {
+	return Pair{Name: "XBenchTCSD", Source: XBenchArticle(), Target: XBenchPaper(), Gold: XBenchTCSDGold()}
+}
+
+// XBenchGold returns the real matches for the Catalog → Catalogue task.
+func XBenchGold() *match.Gold {
+	return match.NewGold(
+		[2]string{"Catalog", "Catalogue"},
+		[2]string{"Catalog/Item", "Catalogue/Product"},
+		[2]string{"Catalog/Item/ItemId", "Catalogue/Product/ProductNo"},
+		[2]string{"Catalog/Item/Title", "Catalogue/Product/ProductTitle"},
+		[2]string{"Catalog/Item/Author", "Catalogue/Product/Writer"},
+		[2]string{"Catalog/Item/Author/FirstName", "Catalogue/Product/Writer/GivenName"},
+		[2]string{"Catalog/Item/Author/LastName", "Catalogue/Product/Writer/Surname"},
+		[2]string{"Catalog/Item/Author/DateOfBirth", "Catalogue/Product/Writer/BirthDate"},
+		[2]string{"Catalog/Item/Publisher", "Catalogue/Product/Pub"},
+		[2]string{"Catalog/Item/ISBN", "Catalogue/Product/BookNumber"},
+		[2]string{"Catalog/Item/ReleaseDate", "Catalogue/Product/PubDate"},
+		[2]string{"Catalog/Item/Price", "Catalogue/Product/Cost"},
+		[2]string{"Catalog/Item/NumberOfPages", "Catalogue/Product/PageCount"},
+		[2]string{"Catalog/Item/Description", "Catalogue/Product/Summary"},
+		[2]string{"Catalog/Store", "Catalogue/Shop"},
+		[2]string{"Catalog/Store/StoreName", "Catalogue/Shop/ShopName"},
+		[2]string{"Catalog/Store/Address", "Catalogue/Shop/Location"},
+		[2]string{"Catalog/Store/Address/Street", "Catalogue/Shop/Location/StreetAddress"},
+		[2]string{"Catalog/Store/Address/City", "Catalogue/Shop/Location/Town"},
+		[2]string{"Catalog/Store/Address/Zip", "Catalogue/Shop/Location/PostalCode"},
+		[2]string{"Catalog/Store/Address/Country", "Catalogue/Shop/Location/Nation"},
+		[2]string{"Catalog/Item/Publisher/ContactInfo/Phone", "Catalogue/Shop/Telephone"},
+		[2]string{"Catalog/Item/Publisher/ContactInfo/Email", "Catalogue/Shop/MailAddress"},
+	)
+}

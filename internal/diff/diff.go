@@ -1,0 +1,241 @@
+// Package diff analyzes schema evolution: given an old and a new version
+// of a schema, it aligns the two trees with the hybrid matcher and
+// classifies every element as unchanged, renamed, modified, moved, added
+// or removed. Schema matching is the engine; versioned-schema diffing is
+// one of its classic applications (and the research lineage of the QMatch
+// authors' earlier schema-evolution work).
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qmatch/internal/core"
+	"qmatch/internal/lingo"
+	"qmatch/internal/xmltree"
+)
+
+// Kind classifies one element's evolution.
+type Kind int
+
+const (
+	// Unchanged: same label, same properties, same parent mapping.
+	Unchanged Kind = iota
+	// Renamed: matched element with a different label.
+	Renamed
+	// Modified: matched element with property changes.
+	Modified
+	// Moved: matched element whose parent maps to a different element.
+	Moved
+	// Removed: old element with no counterpart.
+	Removed
+	// Added: new element with no counterpart.
+	Added
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Renamed:
+		return "renamed"
+	case Modified:
+		return "modified"
+	case Moved:
+		return "moved"
+	case Removed:
+		return "removed"
+	case Added:
+		return "added"
+	default:
+		return "unchanged"
+	}
+}
+
+// Entry is one element's evolution record. Renames, modifications and
+// moves carry both paths; additions only NewPath; removals only OldPath.
+// An element can be renamed and modified and moved at once — Kind reports
+// the most structural of the applicable changes (Moved > Renamed >
+// Modified) and Detail lists all of them.
+type Entry struct {
+	Kind    Kind
+	OldPath string
+	NewPath string
+	Detail  string
+}
+
+// String renders "renamed  Order/Qty -> Order/Quantity (label)".
+func (e Entry) String() string {
+	switch e.Kind {
+	case Added:
+		return fmt.Sprintf("%-9s %s", e.Kind, e.NewPath)
+	case Removed:
+		return fmt.Sprintf("%-9s %s", e.Kind, e.OldPath)
+	case Unchanged:
+		return fmt.Sprintf("%-9s %s", e.Kind, e.OldPath)
+	default:
+		return fmt.Sprintf("%-9s %s -> %s (%s)", e.Kind, e.OldPath, e.NewPath, e.Detail)
+	}
+}
+
+// Report is the full evolution analysis of a schema pair.
+type Report struct {
+	Entries []Entry
+}
+
+// ByKind returns the entries of one kind, in path order.
+func (r *Report) ByKind(k Kind) []Entry {
+	var out []Entry
+	for _, e := range r.Entries {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Counts returns how many entries fall in each kind.
+func (r *Report) Counts() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range r.Entries {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Format renders the report grouped by kind, omitting unchanged elements
+// unless verbose is set.
+func (r *Report) Format(verbose bool) string {
+	var b strings.Builder
+	counts := r.Counts()
+	fmt.Fprintf(&b, "schema diff: %d unchanged, %d renamed, %d modified, %d moved, %d removed, %d added\n",
+		counts[Unchanged], counts[Renamed], counts[Modified], counts[Moved], counts[Removed], counts[Added])
+	for _, k := range []Kind{Renamed, Modified, Moved, Removed, Added} {
+		for _, e := range r.ByKind(k) {
+			b.WriteString("  " + e.String() + "\n")
+		}
+	}
+	if verbose {
+		for _, e := range r.ByKind(Unchanged) {
+			b.WriteString("  " + e.String() + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Schemas aligns the old and new schema versions and classifies every
+// element. The matcher is the hybrid QMatch with the built-in thesaurus
+// (nil th), or a custom thesaurus.
+func Schemas(oldTree, newTree *xmltree.Node, th *lingo.Thesaurus) *Report {
+	h := core.NewHybrid(th)
+	correspondences := h.Match(oldTree, newTree)
+
+	oldToNew := map[string]string{}
+	newToOld := map[string]string{}
+	for _, c := range correspondences {
+		oldToNew[c.Source] = c.Target
+		newToOld[c.Target] = c.Source
+	}
+
+	var entries []Entry
+	oldTree.Walk(func(o *xmltree.Node) bool {
+		newPath, ok := oldToNew[o.Path()]
+		if !ok {
+			entries = append(entries, Entry{Kind: Removed, OldPath: o.Path()})
+			return true
+		}
+		n := newTree.Find(newPath)
+		entries = append(entries, classify(o, n, oldToNew))
+		return true
+	})
+	newTree.Walk(func(n *xmltree.Node) bool {
+		if _, ok := newToOld[n.Path()]; !ok {
+			entries = append(entries, Entry{Kind: Added, NewPath: n.Path()})
+		}
+		return true
+	})
+	sort.SliceStable(entries, func(i, j int) bool {
+		pi, pj := entries[i].OldPath, entries[j].OldPath
+		if pi == "" {
+			pi = entries[i].NewPath
+		}
+		if pj == "" {
+			pj = entries[j].NewPath
+		}
+		return pi < pj
+	})
+	return &Report{Entries: entries}
+}
+
+// classify inspects one matched pair for renames, property changes and
+// moves.
+func classify(o, n *xmltree.Node, oldToNew map[string]string) Entry {
+	var changes []string
+	moved := false
+	if op, np := o.Parent(), n.Parent(); op != nil && np != nil {
+		if mapped, ok := oldToNew[op.Path()]; ok && mapped != np.Path() {
+			moved = true
+			changes = append(changes, fmt.Sprintf("parent %s -> %s", op.Path(), np.Path()))
+		}
+	}
+	renamed := o.Label != n.Label
+	if renamed {
+		changes = append(changes, "label")
+	}
+	changes = append(changes, propertyChanges(o.Props.Norm(), n.Props.Norm())...)
+
+	e := Entry{OldPath: o.Path(), NewPath: n.Path(), Detail: strings.Join(changes, ", ")}
+	switch {
+	case moved:
+		e.Kind = Moved
+	case renamed:
+		e.Kind = Renamed
+	case len(changes) > 0:
+		e.Kind = Modified
+	default:
+		e.Kind = Unchanged
+	}
+	return e
+}
+
+// propertyChanges lists human-readable differences between two property
+// sets, ignoring sibling order (reordering alone is not an evolution
+// event worth reporting).
+func propertyChanges(a, b xmltree.Properties) []string {
+	var out []string
+	if !xmltree.TypeEqual(a.Type, b.Type) {
+		out = append(out, fmt.Sprintf("type %s -> %s",
+			orNone(a.Type), orNone(b.Type)))
+	}
+	if a.MinOccurs != b.MinOccurs || a.MaxOccurs != b.MaxOccurs {
+		out = append(out, fmt.Sprintf("occurs %s -> %s", occurs(a), occurs(b)))
+	}
+	if a.IsAttribute != b.IsAttribute {
+		out = append(out, "element/attribute kind")
+	}
+	if a.Nillable != b.Nillable {
+		out = append(out, "nillable")
+	}
+	if a.Fixed != b.Fixed {
+		out = append(out, "fixed value")
+	}
+	if a.Default != b.Default {
+		out = append(out, "default value")
+	}
+	return out
+}
+
+func orNone(t string) string {
+	if t == "" {
+		return "(none)"
+	}
+	return t
+}
+
+func occurs(p xmltree.Properties) string {
+	max := fmt.Sprint(p.MaxOccurs)
+	if p.MaxOccurs == xmltree.Unbounded {
+		max = "*"
+	}
+	return fmt.Sprintf("[%d..%s]", p.MinOccurs, max)
+}

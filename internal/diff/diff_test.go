@@ -1,0 +1,148 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/xmltree"
+)
+
+// v1 is the "old" purchase-order schema version.
+func v1() *xmltree.Node {
+	return xmltree.NewTree("Order", xmltree.Elem(""),
+		xmltree.New("OrderNo", xmltree.Elem("integer")),
+		xmltree.New("Quantity", xmltree.Elem("integer")),
+		xmltree.New("LegacyCode", xmltree.Elem("string")),
+		xmltree.NewTree("Shipping", xmltree.Elem(""),
+			xmltree.New("Street", xmltree.Elem("string")),
+			xmltree.New("City", xmltree.Elem("string")),
+		),
+	)
+}
+
+// v2 renames Quantity → Qty, widens OrderNo's type, drops LegacyCode, and
+// adds a TrackingId.
+func v2() *xmltree.Node {
+	return xmltree.NewTree("Order", xmltree.Elem(""),
+		xmltree.New("OrderNo", xmltree.Elem("long")),
+		xmltree.New("Qty", xmltree.Elem("integer")),
+		xmltree.NewTree("Shipping", xmltree.Elem(""),
+			xmltree.New("Street", xmltree.Elem("string")),
+			xmltree.New("City", xmltree.Elem("string")),
+		),
+		xmltree.New("TrackingId", xmltree.Elem("string")),
+	)
+}
+
+func TestSchemaEvolution(t *testing.T) {
+	r := Schemas(v1(), v2(), nil)
+	counts := r.Counts()
+	if counts[Renamed] != 1 {
+		t.Errorf("renamed = %d\n%s", counts[Renamed], r.Format(true))
+	}
+	if counts[Modified] != 1 { // OrderNo type widened
+		t.Errorf("modified = %d\n%s", counts[Modified], r.Format(true))
+	}
+	if counts[Removed] != 1 { // LegacyCode
+		t.Errorf("removed = %d\n%s", counts[Removed], r.Format(true))
+	}
+	if counts[Added] != 1 { // TrackingId
+		t.Errorf("added = %d\n%s", counts[Added], r.Format(true))
+	}
+	if counts[Unchanged] < 4 { // Order, Shipping, Street, City
+		t.Errorf("unchanged = %d\n%s", counts[Unchanged], r.Format(true))
+	}
+
+	renamed := r.ByKind(Renamed)[0]
+	if renamed.OldPath != "Order/Quantity" || renamed.NewPath != "Order/Qty" {
+		t.Errorf("rename = %+v", renamed)
+	}
+	if !strings.Contains(renamed.Detail, "label") {
+		t.Errorf("rename detail = %q", renamed.Detail)
+	}
+	modified := r.ByKind(Modified)[0]
+	if !strings.Contains(modified.Detail, "type integer -> long") {
+		t.Errorf("modified detail = %q", modified.Detail)
+	}
+}
+
+func TestIdenticalSchemas(t *testing.T) {
+	r := Schemas(v1(), v1(), nil)
+	counts := r.Counts()
+	if counts[Unchanged] != v1().Size() {
+		t.Fatalf("counts = %v\n%s", counts, r.Format(true))
+	}
+	for k, n := range counts {
+		if k != Unchanged && n != 0 {
+			t.Fatalf("unexpected %v entries: %d", k, n)
+		}
+	}
+}
+
+func TestMoveDetection(t *testing.T) {
+	oldTree := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.NewTree("GroupA", xmltree.Elem(""),
+			xmltree.New("SerialNumber", xmltree.Elem("string")),
+			xmltree.New("Alpha", xmltree.Elem("date")),
+		),
+		xmltree.NewTree("GroupB", xmltree.Elem(""),
+			xmltree.New("Beta", xmltree.Elem("boolean")),
+			xmltree.New("Gamma", xmltree.Elem("decimal")),
+		),
+	)
+	newTree := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.NewTree("GroupA", xmltree.Elem(""),
+			xmltree.New("Alpha", xmltree.Elem("date")),
+		),
+		xmltree.NewTree("GroupB", xmltree.Elem(""),
+			xmltree.New("Beta", xmltree.Elem("boolean")),
+			xmltree.New("Gamma", xmltree.Elem("decimal")),
+			xmltree.New("SerialNumber", xmltree.Elem("string")),
+		),
+	)
+	r := Schemas(oldTree, newTree, nil)
+	moved := r.ByKind(Moved)
+	if len(moved) != 1 || moved[0].OldPath != "R/GroupA/SerialNumber" {
+		t.Fatalf("moved = %v\n%s", moved, r.Format(true))
+	}
+	if !strings.Contains(moved[0].Detail, "parent R/GroupA -> R/GroupB") {
+		t.Fatalf("move detail = %q", moved[0].Detail)
+	}
+}
+
+func TestOccursAndFacetChanges(t *testing.T) {
+	oldTree := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("V", xmltree.Elem("string")),
+	)
+	newTree := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("V", xmltree.Elem("string").Optional().Repeated()),
+	)
+	r := Schemas(oldTree, newTree, nil)
+	mods := r.ByKind(Modified)
+	if len(mods) != 1 {
+		t.Fatalf("mods = %v\n%s", mods, r.Format(true))
+	}
+	if !strings.Contains(mods[0].Detail, "occurs [1..1] -> [0..*]") {
+		t.Fatalf("detail = %q", mods[0].Detail)
+	}
+}
+
+func TestFormatAndStrings(t *testing.T) {
+	r := Schemas(v1(), v2(), nil)
+	out := r.Format(false)
+	if !strings.Contains(out, "schema diff:") || !strings.Contains(out, "renamed") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if strings.Contains(out, "unchanged  Order/Shipping") {
+		t.Fatal("non-verbose format lists unchanged entries")
+	}
+	verbose := r.Format(true)
+	if !strings.Contains(verbose, "Order/Shipping") {
+		t.Fatalf("verbose format missing unchanged entries:\n%s", verbose)
+	}
+	for _, k := range []Kind{Unchanged, Renamed, Modified, Moved, Removed, Added} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}

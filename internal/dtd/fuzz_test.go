@@ -1,0 +1,39 @@
+package dtd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The DTD parser must be total: random inputs error or parse, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	prop := func(junk string) bool {
+		_, _ = ParseString(junk, "")
+		_, _ = ParseString("<!ELEMENT R ("+junk+")>", "R")
+		_, _ = ParseString("<!ELEMENT R (#PCDATA)> <!ATTLIST R "+junk+">", "R")
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMangled(t *testing.T) {
+	base := `
+<!ELEMENT PO (OrderNo, Lines)>
+<!ELEMENT OrderNo (#PCDATA)>
+<!ELEMENT Lines (Item+, Quantity?)>
+<!ELEMENT Item (#PCDATA)>
+<!ELEMENT Quantity (#PCDATA)>
+<!ATTLIST PO id ID #REQUIRED>
+`
+	prop := func(pos uint16, b byte) bool {
+		data := []byte(base)
+		data[int(pos)%len(data)] = b
+		_, _ = ParseString(string(data), "")
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package instances
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qmatch/internal/composite"
+	"qmatch/internal/core"
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// contactSchema builds a schema whose leaves have distinctive value
+// profiles: phone numbers (digits+punctuation), emails (alpha with '@'),
+// and ages (short numerics).
+func contactSchema(root, phone, email, age string) *xmltree.Node {
+	return xmltree.NewTree(root, xmltree.Elem(""),
+		xmltree.New(phone, xmltree.Elem("string")),
+		xmltree.New(email, xmltree.Elem("string")),
+		xmltree.New(age, xmltree.Elem("integer")),
+	)
+}
+
+func srcDocs() []string {
+	return []string{
+		`<Person><Tel>555-0100</Tel><Mail>ada@example.com</Mail><Years>36</Years></Person>`,
+		`<Person><Tel>555-0199</Tel><Mail>bob@example.org</Mail><Years>41</Years></Person>`,
+		`<Person><Tel>555-0123</Tel><Mail>eve@example.net</Mail><Years>29</Years></Person>`,
+	}
+}
+
+func tgtDocs() []string {
+	return []string{
+		`<Contact><Fon>555-8800</Fon><Post>carl@sample.com</Post><Alter>52</Alter></Contact>`,
+		`<Contact><Fon>555-8811</Fon><Post>dora@sample.org</Post><Alter>33</Alter></Contact>`,
+	}
+}
+
+func profiles(t *testing.T) (Profile, Profile, *xmltree.Node, *xmltree.Node) {
+	t.Helper()
+	src := contactSchema("Person", "Tel", "Mail", "Years")
+	tgt := contactSchema("Contact", "Fon", "Post", "Alter")
+	sp, err := CollectStrings(src, srcDocs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := CollectStrings(tgt, tgtDocs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, tp, src, tgt
+}
+
+func TestCollectStats(t *testing.T) {
+	sp, _, _, _ := profiles(t)
+	tel := sp["Person/Tel"]
+	if tel.Count != 3 {
+		t.Fatalf("tel count = %d", tel.Count)
+	}
+	if tel.DigitRatio < 0.8 {
+		t.Fatalf("tel digit ratio = %v", tel.DigitRatio)
+	}
+	mail := sp["Person/Mail"]
+	if mail.AlphaRatio < 0.7 {
+		t.Fatalf("mail alpha ratio = %v", mail.AlphaRatio)
+	}
+	years := sp["Person/Years"]
+	if years.NumericRatio != 1 {
+		t.Fatalf("years numeric ratio = %v", years.NumericRatio)
+	}
+	if math.Abs(years.AvgLength-2) > 1e-9 {
+		t.Fatalf("years avg length = %v", years.AvgLength)
+	}
+	if years.DistinctRatio != 1 {
+		t.Fatalf("years distinct ratio = %v", years.DistinctRatio)
+	}
+	if got := len(sp.Paths()); got != 3 {
+		t.Fatalf("paths = %v", sp.Paths())
+	}
+}
+
+// Labels share nothing across the two schemas; instance evidence alone
+// must align phone↔phone, email↔email, age↔age.
+func TestInstanceEvidenceAligns(t *testing.T) {
+	sp, tp, src, tgt := profiles(t)
+	m := New(sp, tp)
+	cs := m.Match(src, tgt)
+	got := map[string]string{}
+	for _, c := range cs {
+		got[c.Source] = c.Target
+	}
+	want := map[string]string{
+		"Person/Tel":   "Contact/Fon",
+		"Person/Mail":  "Contact/Post",
+		"Person/Years": "Contact/Alter",
+	}
+	for s, tgtPath := range want {
+		if got[s] != tgtPath {
+			t.Errorf("%s -> %s, want %s (all: %v)", s, got[s], tgtPath, cs)
+		}
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	a := Stats{Count: 5, NumericRatio: 1, AvgLength: 2, DistinctRatio: 1, DigitRatio: 1}
+	if got := Similarity(a, a); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	b := Stats{Count: 5, AlphaRatio: 1, AvgLength: 40, DistinctRatio: 1}
+	ab := Similarity(a, b)
+	if ab <= 0 || ab >= 0.7 {
+		t.Fatalf("disparate similarity = %v", ab)
+	}
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Fatal("asymmetric")
+	}
+	if got := Similarity(Stats{}, a); got != 0 {
+		t.Fatalf("empty stats similarity = %v", got)
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	src := contactSchema("Person", "Tel", "Mail", "Years")
+	if _, err := CollectStrings(src, `<Person><unclosed>`); err == nil {
+		t.Fatal("malformed accepted")
+	}
+	if _, err := CollectStrings(src, ``); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := CollectStrings(src, `<A/><B/>`); err == nil {
+		t.Fatal("multiple roots accepted")
+	}
+}
+
+func TestAttributesProfiled(t *testing.T) {
+	schema := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("id", xmltree.Attr("integer")),
+	)
+	p, err := CollectStrings(schema, `<R id="12345"/>`, `<R id="67890"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["R/id"].Count != 2 || p["R/id"].DigitRatio != 1 {
+		t.Fatalf("attr stats = %+v", p["R/id"])
+	}
+}
+
+// Instance evidence as a composite constituent: blended with the hybrid,
+// it must not lose the hybrid's correspondences on a labeled task.
+func TestBlendWithHybrid(t *testing.T) {
+	sp, tp, src, tgt := profiles(t)
+	blend := composite.New(core.NewHybrid(nil), New(sp, tp))
+	blend.Aggregate = composite.Max
+	blend.Select.Threshold = 0.8
+	cs := blend.Match(src, tgt)
+	e := match.Evaluate(cs, match.NewGold(
+		[2]string{"Person/Tel", "Contact/Fon"},
+		[2]string{"Person/Mail", "Contact/Post"},
+		[2]string{"Person/Years", "Contact/Alter"},
+	))
+	if e.Recall < 0.99 {
+		t.Fatalf("blend recall = %v (%v)", e.Recall, cs)
+	}
+}
+
+func TestTreeScore(t *testing.T) {
+	sp, tp, src, tgt := profiles(t)
+	m := New(sp, tp)
+	v := m.TreeScore(src, tgt)
+	if v <= 0.4 || v > 1 {
+		t.Fatalf("tree score = %v", v)
+	}
+	if m.Name() != "instances" {
+		t.Fatal("name")
+	}
+}
+
+func TestCollectReaderVariant(t *testing.T) {
+	src := contactSchema("Person", "Tel", "Mail", "Years")
+	p, err := Collect(src, strings.NewReader(srcDocs()[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["Person/Tel"].Count != 1 {
+		t.Fatalf("stats = %+v", p["Person/Tel"])
+	}
+}

@@ -1,0 +1,89 @@
+package lingo
+
+import "testing"
+
+func TestIsAcronymOf(t *testing.T) {
+	cases := []struct {
+		short, long string
+		want        bool
+	}{
+		{"UOM", "Unit Of Measure", true},
+		{"uom", "UnitOfMeasure", true},
+		{"PO", "Purchase Order", true},
+		{"POX", "Purchase Order", false},
+		{"P", "Purchase", false}, // single token: no acronym
+		{"PD", "PurchaseDate", true},
+		{"DOB", "date of birth", true},
+		{"UOM", "Measure Of Unit", false}, // order matters
+	}
+	for _, c := range cases {
+		if got := IsAcronymOf(c.short, c.long); got != c.want {
+			t.Errorf("IsAcronymOf(%q,%q) = %v, want %v", c.short, c.long, got, c.want)
+		}
+	}
+}
+
+func TestIsAbbreviationOf(t *testing.T) {
+	cases := []struct {
+		short, long string
+		want        bool
+	}{
+		{"qty", "quantity", true},
+		{"Qty", "Quantity", true},
+		{"addr", "address", true},
+		{"amt", "amount", true},
+		{"no", "number", true},
+		{"num", "number", true},
+		{"desc", "description", true},
+		{"bill", "billing", true},  // prefix
+		{"ship", "shipping", true}, // prefix
+		{"cat", "dog", false},
+		{"quantity", "qty", false}, // wrong direction
+		{"q", "quantity", false},   // too short
+		{"xyz", "quantity", false}, // first letter differs
+		{"qy", "quantity", true},   // subsequence, covers 1/4 < 1/3? len(qy)=2, 3*2=6 < 8 → prefix? no → false
+	}
+	// fix expectation for "qy": 3*2=6 < len("quantity")=8, not prefix → false
+	cases[len(cases)-1].want = false
+	for _, c := range cases {
+		if got := IsAbbreviationOf(c.short, c.long); got != c.want {
+			t.Errorf("IsAbbreviationOf(%q,%q) = %v, want %v", c.short, c.long, got, c.want)
+		}
+	}
+}
+
+func TestConsonantSkeleton(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"quantity", "qntty"},
+		{"order", "ordr"},
+		{"", ""},
+		{"a", "a"},
+		{"aeiou", "a"},
+	}
+	for _, c := range cases {
+		if got := consonantSkeleton(c.in); got != c.want {
+			t.Errorf("consonantSkeleton(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAbbrevMatch(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"UOM", "Unit Of Measure", true},
+		{"Unit Of Measure", "UOM", true}, // symmetric
+		{"Qty", "Quantity", true},
+		{"Quantity", "Qty", true},
+		{"OrderNo", "OrderNo", false}, // equal labels are not "abbreviations"
+		{"", "Quantity", false},
+		{"Lines", "Items", false},
+		{"BillTo", "BillingAddr", false}, // related but not an abbreviation
+	}
+	for _, c := range cases {
+		if got := AbbrevMatch(c.a, c.b); got != c.want {
+			t.Errorf("AbbrevMatch(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package lingo
+
+import "sync"
+
+// Default returns the built-in thesaurus covering the vocabulary of the
+// paper's evaluation domains: purchase orders / inventory, books and
+// articles, Dublin Core metadata, protein structure (PIR / PDB), and the
+// XBench catalog schemas. It is the stand-in for the WordNet-derived
+// resources the original system consulted (DESIGN.md §2); the relations the
+// paper cites explicitly (OrderNo exact, Quantity↔Qty relaxed,
+// UnitOfMeasure↔UOM relaxed, Lines↔Items, PurchaseDate↔Date, ...) are all
+// present. The returned thesaurus is shared: treat it as read-only, or
+// Merge it into a fresh NewThesaurus to extend it.
+func Default() *Thesaurus {
+	defaultOnce.Do(buildDefault)
+	return defaultThesaurus
+}
+
+var (
+	defaultOnce      sync.Once
+	defaultThesaurus *Thesaurus
+)
+
+func buildDefault() {
+	t := NewThesaurus()
+
+	// --- Purchase order / inventory domain (Figures 1 and 2) ---
+	// Exact relations (synonyms) and relaxed relations (acronyms,
+	// hypernyms, related terms) follow the paper's worked example:
+	// OrderNo↔OrderNo and Item↔Item# are exact; Quantity↔Qty,
+	// UnitOfMeasure↔UOM, Lines↔Items, BillingAddr↔BillTo,
+	// ShippingAddr↔ShipTo, PurchaseDate↔Date, PO↔PurchaseOrder and
+	// PurchaseInfo↔PurchaseOrder are relaxed (paper §2.1–2.2).
+	t.AddSynonymGroup("order no", "order number", "po number", "purchase order number")
+	t.AddSynonymGroup("item", "item number", "article number", "product", "sku")
+	t.AddSynonymGroup("price", "unit price", "cost")
+	t.AddSynonymGroup("customer", "buyer", "client")
+	t.AddSynonymGroup("supplier", "vendor", "seller")
+	t.AddSynonymGroup("address", "addr")
+	t.AddRelatedGroup("lines", "items", "order lines", "line items")
+	t.AddRelated("bill to", "billing addr")
+	t.AddRelated("bill to", "billing address")
+	t.AddRelated("billing addr", "invoice address")
+	t.AddRelated("ship to", "shipping addr")
+	t.AddRelated("ship to", "shipping address")
+	t.AddRelated("shipping addr", "delivery address")
+	t.AddRelatedGroup("purchase info", "order info", "order details", "purchase order")
+	t.AddRelated("unit of measure", "unit")
+	t.AddRelated("quantity", "count")
+	t.AddHypernym("order", "purchase order")
+	t.AddHypernym("date", "purchase date", "order date", "ship date", "delivery date", "invoice date")
+	t.AddHypernym("number", "order number", "item number", "po number")
+	t.AddHypernym("info", "purchase info", "order info")
+	t.AddAcronym("po", "purchase order")
+	t.AddAcronym("uom", "unit of measure")
+	t.AddAcronym("qty", "quantity")
+	t.AddAcronym("no", "number")
+	t.AddAcronym("num", "number")
+	t.AddAcronym("addr", "address")
+	t.AddAcronym("amt", "amount")
+	t.AddAcronym("desc", "description")
+	t.AddAcronym("id", "identifier")
+
+	// --- Books / articles domain ---
+	t.AddSynonymGroup("writer", "author", "creator")
+	t.AddSynonymGroup("book title", "title", "name of book")
+	t.AddSynonymGroup("publisher", "publishing house", "press")
+	t.AddSynonymGroup("isbn", "book number")
+	t.AddSynonymGroup("year", "publication year", "pub year")
+	t.AddSynonymGroup("pages", "page count", "number of pages")
+	t.AddSynonymGroup("abstract", "summary", "synopsis")
+	t.AddSynonymGroup("journal", "periodical", "magazine")
+	t.AddSynonymGroup("keyword", "subject term", "index term")
+	t.AddHypernym("publication", "book", "article", "journal", "paper")
+	t.AddRelated("article", "paper")
+	t.AddRelated("section", "chapter")
+	t.AddRelated("heading", "title")
+	t.AddRelated("paragraph", "text")
+	t.AddRelatedGroup("affiliation", "institution", "organization")
+	t.AddRelated("publication date", "issue date")
+	t.AddRelatedGroup("prolog", "front matter", "preamble")
+	t.AddRelatedGroup("epilog", "back matter", "appendix")
+	t.AddRelatedGroup("acknowledgements", "thanks", "credits")
+	t.AddRelated("body", "content")
+	t.AddHypernym("person", "author", "editor", "writer")
+	t.AddHypernym("title", "book title", "article title")
+	t.AddAcronym("vol", "volume")
+	t.AddAcronym("ed", "edition")
+	t.AddAcronym("pub", "publisher")
+
+	// --- Dublin Core metadata (DCMD schemas) ---
+	t.AddSynonymGroup("dc creator", "creator", "author")
+	t.AddSynonymGroup("dc title", "title")
+	t.AddSynonymGroup("dc date", "date")
+	t.AddSynonymGroup("dc subject", "subject", "topic")
+	t.AddSynonymGroup("dc description", "description")
+	t.AddSynonymGroup("dc identifier", "identifier", "id")
+	t.AddSynonymGroup("dc publisher", "publisher")
+	t.AddSynonymGroup("dc language", "language", "lang")
+	t.AddSynonymGroup("dc format", "format", "media type")
+	t.AddSynonymGroup("dc rights", "rights", "license", "copyright")
+	t.AddSynonymGroup("dc contributor", "contributor")
+	t.AddSynonymGroup("dc coverage", "coverage", "extent")
+	t.AddSynonymGroup("dc relation", "relation", "related resource")
+	t.AddSynonymGroup("dc source", "source")
+	t.AddRelated("source", "origin")
+	t.AddSynonymGroup("dc type", "type", "resource type", "kind")
+	t.AddHypernym("resource", "document", "record", "item")
+	t.AddAcronym("lang", "language")
+
+	// --- Protein structure domain (PIR / PDB) ---
+	t.AddRelatedGroup("protein", "molecule", "compound", "polypeptide")
+	t.AddRelated("accession", "id code")
+	t.AddRelated("created", "deposition date")
+	t.AddRelated("modified", "revision date")
+	t.AddSynonymGroup("sequence", "seq", "residue sequence", "primary structure")
+	t.AddSynonymGroup("residue", "amino acid", "monomer")
+	t.AddSynonymGroup("chain", "subunit", "polymer chain")
+	t.AddSynonymGroup("organism", "species", "source organism", "taxon")
+	t.AddSynonymGroup("accession", "accession number", "entry id")
+	t.AddSynonymGroup("reference", "citation", "literature reference")
+	t.AddSynonymGroup("feature", "annotation")
+	t.AddSynonymGroup("atom", "atom site", "atom record")
+	t.AddSynonymGroup("structure", "tertiary structure", "conformation")
+	t.AddSynonymGroup("helix", "alpha helix")
+	t.AddSynonymGroup("sheet", "beta sheet", "strand")
+	t.AddSynonymGroup("molecule", "entity")
+	t.AddSynonymGroup("resolution", "res")
+	t.AddSynonymGroup("experiment", "exptl", "method")
+	t.AddSynonymGroup("keywords", "keyword list", "kwds")
+	t.AddHypernym("identifier", "accession", "entry id", "pdb id")
+	t.AddHypernym("name", "protein name", "molecule name", "compound name")
+	t.AddAcronym("seq", "sequence")
+	t.AddAcronym("res", "residue")
+	t.AddAcronym("org", "organism")
+	t.AddAcronym("ref", "reference")
+	t.AddAcronym("db", "database")
+	t.AddAcronym("xref", "cross reference")
+
+	// --- XBench catalog (DCSD-style) vocabulary ---
+	t.AddSynonymGroup("catalog", "catalogue", "item list")
+	t.AddSynonymGroup("first name", "given name", "forename")
+	t.AddSynonymGroup("last name", "family name", "surname")
+	t.AddSynonymGroup("phone", "phone number", "telephone")
+	t.AddSynonymGroup("zip", "zip code", "postal code")
+	t.AddSynonymGroup("country", "nation")
+	t.AddSynonymGroup("city", "town")
+	t.AddSynonymGroup("street", "street address")
+	t.AddSynonymGroup("email", "e mail", "mail address")
+	t.AddSynonymGroup("date of birth", "birth date", "dob")
+	t.AddHypernym("name", "first name", "last name", "middle name")
+	t.AddHypernym("contact", "phone", "email", "fax")
+	t.AddAcronym("dob", "date of birth")
+	t.AddAcronym("tel", "telephone")
+
+	defaultThesaurus = t
+}

@@ -1,0 +1,301 @@
+package lingo
+
+import "sort"
+
+// String-similarity metrics. All similarity functions return values in
+// [0, 1] with 1 meaning identical; distance functions return edit counts.
+// Inputs are compared as-is: callers that want case-insensitive behaviour
+// should normalize first (see Normalize / Tokenize).
+
+// Levenshtein returns the minimum number of single-character insertions,
+// deletions and substitutions required to turn a into b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// EditSim is the Levenshtein distance normalized to a similarity:
+// 1 − dist/max(len). Two empty strings are fully similar.
+func EditSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// jaroStackLimit is the string length up to which Jaro runs without heap
+// allocation — schema labels are almost always shorter.
+const jaroStackLimit = 64
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	var rbufA, rbufB [jaroStackLimit]rune
+	ra := runesInto(rbufA[:0], a)
+	rb := runesInto(rbufB[:0], b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := max2(len(ra), len(rb))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	var bufA, bufB [jaroStackLimit]bool
+	var matchedA, matchedB []bool
+	if len(ra) <= jaroStackLimit && len(rb) <= jaroStackLimit {
+		matchedA = bufA[:len(ra)]
+		matchedB = bufB[:len(rb)]
+	} else {
+		matchedA = make([]bool, len(ra))
+		matchedB = make([]bool, len(rb))
+	}
+	matches := 0
+	for i := range ra {
+		lo := max2(0, i-window)
+		hi := min2(len(rb)-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchedB[j] && ra[i] == rb[j] {
+				matchedA[i], matchedB[j] = true, true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro similarity boosted for a shared prefix of up
+// to four characters with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NGramSim returns the Dice coefficient over the character n-grams of a and
+// b (with n-1 boundary padding), a robust similarity for short labels. For
+// strings shorter than n, it falls back to EditSim. N-grams are compared
+// as 64-bit FNV window hashes over sorted stack-backed slices, so typical
+// schema labels are scored without heap allocation — this sits on the
+// hottest path of large matches.
+func NGramSim(a, b string, n int) float64 {
+	if n < 1 {
+		n = 2
+	}
+	if a == b {
+		return 1
+	}
+	var bufA, bufB [jaroStackLimit]uint64
+	ga := ngramHashes(bufA[:0], a, n)
+	gb := ngramHashes(bufB[:0], b, n)
+	if len(ga) == 0 || len(gb) == 0 {
+		return EditSim(a, b)
+	}
+	sortHashes(ga)
+	sortHashes(gb)
+	// Merge-count common n-grams with multiplicity (multiset Dice).
+	common := 0
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i] == gb[j]:
+			common++
+			i++
+			j++
+		case ga[i] < gb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 2 * float64(common) / float64(len(ga)+len(gb))
+}
+
+// TrigramSim is NGramSim with n=3, the variant used by the linguistic
+// matcher for token comparison.
+func TrigramSim(a, b string) float64 { return NGramSim(a, b, 3) }
+
+// ngramHashes appends the FNV-1a hash of every padded n-rune window of s
+// to buf.
+func ngramHashes(buf []uint64, s string, n int) []uint64 {
+	var rbuf [jaroStackLimit]rune
+	r := runesInto(rbuf[:0], s)
+	if len(r) == 0 {
+		return buf[:0]
+	}
+	total := len(r) + n - 1 // windows including boundary padding
+	for w := 0; w < total; w++ {
+		h := uint64(14695981039346656037)
+		for k := 0; k < n; k++ {
+			idx := w + k - (n - 1)
+			var c rune
+			switch {
+			case idx < 0:
+				c = '\x00' // leading pad
+			case idx >= len(r):
+				c = '\x01' // trailing pad
+			default:
+				c = r[idx]
+			}
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+		buf = append(buf, h)
+	}
+	return buf
+}
+
+// sortHashes insertion-sorts short hash slices (the common case) and falls
+// back to the stdlib for long ones.
+func sortHashes(h []uint64) {
+	if len(h) > 96 {
+		sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+		return
+	}
+	for i := 1; i < len(h); i++ {
+		v := h[i]
+		j := i - 1
+		for j >= 0 && h[j] > v {
+			h[j+1] = h[j]
+			j--
+		}
+		h[j+1] = v
+	}
+}
+
+// LongestCommonSubstring returns the length of the longest contiguous
+// substring shared by a and b.
+func LongestCommonSubstring(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	best := 0
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// SubstringSim normalizes LongestCommonSubstring by the length of the longer
+// string.
+func SubstringSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := max2(la, lb)
+	return float64(LongestCommonSubstring(a, b)) / float64(m)
+}
+
+// CommonPrefixLen returns the length of the shared prefix of a and b.
+func CommonPrefixLen(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	i := 0
+	for i < len(ra) && i < len(rb) && ra[i] == rb[i] {
+		i++
+	}
+	return i
+}
+
+// IsSubsequence reports whether a is a subsequence of b (characters of a
+// appear in b in order, not necessarily contiguously).
+func IsSubsequence(a, b string) bool {
+	ra, rb := []rune(a), []rune(b)
+	i := 0
+	for _, r := range rb {
+		if i < len(ra) && ra[i] == r {
+			i++
+		}
+	}
+	return i == len(ra)
+}
+
+// runesInto decodes s into buf (reusing its backing array when capacity
+// allows), avoiding a heap allocation for short strings.
+func runesInto(buf []rune, s string) []rune {
+	for _, r := range s {
+		buf = append(buf, r)
+	}
+	return buf
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }

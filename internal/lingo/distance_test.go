@@ -1,0 +1,198 @@
+package lingo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"quantity", "qty", 5},
+		{"order", "order", 0},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Properties: symmetry, identity, triangle inequality, bounds.
+func TestLevenshteinProperties(t *testing.T) {
+	clip := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	sym := func(a, b string) bool {
+		a, b = clip(a), clip(b)
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("symmetry: %v", err)
+	}
+	ident := func(a string) bool { return Levenshtein(clip(a), clip(a)) == 0 }
+	if err := quick.Check(ident, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("identity: %v", err)
+	}
+	tri := func(a, b, c string) bool {
+		a, b, c = clip(a), clip(b), clip(c)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("triangle: %v", err)
+	}
+}
+
+func TestEditSim(t *testing.T) {
+	if got := EditSim("", ""); got != 1 {
+		t.Fatalf("EditSim empty = %v", got)
+	}
+	if got := EditSim("abc", "abc"); got != 1 {
+		t.Fatalf("EditSim equal = %v", got)
+	}
+	if got := EditSim("abc", "xyz"); got != 0 {
+		t.Fatalf("EditSim disjoint = %v", got)
+	}
+	if got := EditSim("abcd", "abc"); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("EditSim = %v, want 0.75", got)
+	}
+}
+
+func TestJaro(t *testing.T) {
+	if got := Jaro("", ""); got != 1 {
+		t.Fatalf("Jaro empty = %v", got)
+	}
+	if got := Jaro("a", ""); got != 0 {
+		t.Fatalf("Jaro vs empty = %v", got)
+	}
+	if got := Jaro("abc", "abc"); got != 1 {
+		t.Fatalf("Jaro equal = %v", got)
+	}
+	// Classic textbook value: JARO(MARTHA, MARHTA) = 0.944...
+	if got := Jaro("MARTHA", "MARHTA"); math.Abs(got-0.944444) > 1e-4 {
+		t.Fatalf("Jaro(MARTHA,MARHTA) = %v", got)
+	}
+	if got := Jaro("abc", "xyz"); got != 0 {
+		t.Fatalf("Jaro disjoint = %v", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	// Classic textbook value: JW(DIXON, DICKSONX) = 0.8133...
+	if got := JaroWinkler("DIXON", "DICKSONX"); math.Abs(got-0.81333) > 1e-4 {
+		t.Fatalf("JW(DIXON,DICKSONX) = %v", got)
+	}
+	// Prefix boost: JW >= Jaro always.
+	if JaroWinkler("prefix", "preface") < Jaro("prefix", "preface") {
+		t.Fatal("JW below Jaro")
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	clip := func(s string) string {
+		if len(s) > 10 {
+			return s[:10]
+		}
+		return s
+	}
+	in01 := func(f func(a, b string) float64) func(a, b string) bool {
+		return func(a, b string) bool {
+			v := f(clip(a), clip(b))
+			return v >= 0 && v <= 1+1e-9
+		}
+	}
+	for name, f := range map[string]func(a, b string) float64{
+		"EditSim":      EditSim,
+		"Jaro":         Jaro,
+		"JaroWinkler":  JaroWinkler,
+		"TrigramSim":   TrigramSim,
+		"SubstringSim": SubstringSim,
+	} {
+		if err := quick.Check(in01(f), &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s bounds: %v", name, err)
+		}
+	}
+}
+
+func TestSimilaritySelfIsOne(t *testing.T) {
+	self := func(a string) bool {
+		if len(a) > 10 {
+			a = a[:10]
+		}
+		return EditSim(a, a) == 1 && Jaro(a, a) == 1 && TrigramSim(a, a) == 1
+	}
+	if err := quick.Check(self, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNGramSim(t *testing.T) {
+	if got := NGramSim("night", "nacht", 2); got <= 0 || got >= 1 {
+		t.Fatalf("NGramSim(night,nacht) = %v, want in (0,1)", got)
+	}
+	if got := NGramSim("abc", "abc", 2); got != 1 {
+		t.Fatalf("NGramSim equal = %v", got)
+	}
+	// n < 1 falls back to n=2.
+	if got := NGramSim("abc", "abd", 0); got <= 0 {
+		t.Fatalf("NGramSim n=0 fallback = %v", got)
+	}
+	// One side empty: falls through ngrams==nil to EditSim.
+	if got := NGramSim("", "abc", 2); got != 0 {
+		t.Fatalf("NGramSim empty = %v", got)
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"abcdef", "zabcy", 3},
+		{"quantity", "qty", 2}, // shared "ty"
+		{"shipping", "shippingaddr", 8},
+	}
+	for _, c := range cases {
+		if got := LongestCommonSubstring(c.a, c.b); got != c.want {
+			t.Errorf("LCS(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	if got := CommonPrefixLen("shipto", "shipping"); got != 4 {
+		t.Fatalf("CommonPrefixLen = %d", got)
+	}
+	if got := CommonPrefixLen("", "x"); got != 0 {
+		t.Fatalf("CommonPrefixLen empty = %d", got)
+	}
+}
+
+func TestIsSubsequence(t *testing.T) {
+	if !IsSubsequence("qty", "quantity") {
+		t.Fatal("qty should be subsequence of quantity")
+	}
+	if IsSubsequence("qtz", "quantity") {
+		t.Fatal("qtz should not be subsequence")
+	}
+	if !IsSubsequence("", "anything") {
+		t.Fatal("empty is a subsequence of anything")
+	}
+	if IsSubsequence("a", "") {
+		t.Fatal("non-empty not subsequence of empty")
+	}
+}

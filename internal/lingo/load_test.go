@@ -1,0 +1,69 @@
+package lingo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadThesaurus(t *testing.T) {
+	src := `# domain thesaurus
+synonym	writer	author
+
+related	lines	items
+acronym	uom	unit of measure
+hypernym	date	purchase date
+`
+	th, err := LoadThesaurus(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b string
+		want Relation
+	}{
+		{"writer", "author", RelSynonym},
+		{"lines", "items", RelRelated},
+		{"uom", "unit of measure", RelAcronym},
+		{"date", "purchase date", RelHypernym},
+		{"purchase date", "date", RelHyponym},
+	}
+	for _, c := range cases {
+		if got := th.Relate(c.a, c.b); got != c.want {
+			t.Errorf("Relate(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLoadThesaurusErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad arity":        "synonym\tonlyone\n",
+		"unknown relation": "sibling\ta\tb\n",
+		"empty term":       "synonym\t\tb\n",
+	}
+	for name, src := range cases {
+		if _, err := LoadThesaurus(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteThesaurusEntryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteThesaurusEntry(&buf, "synonym", "gizmo", "widget"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteThesaurusEntry(&buf, "acronym", "id", "identifier"); err != nil {
+		t.Fatal(err)
+	}
+	th, err := LoadThesaurus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Relate("gizmo", "widget") != RelSynonym {
+		t.Fatal("synonym lost")
+	}
+	if th.Relate("id", "identifier") != RelAcronym {
+		t.Fatal("acronym lost")
+	}
+}

@@ -1,0 +1,257 @@
+package lingo
+
+// NameMatcher computes label similarity between two schema labels and
+// classifies the result on the QMatch label axis: exact (string-equal or
+// synonym), relaxed (hypernym, acronym, abbreviation, or strong string
+// similarity) or none. This is the "linguistic match algorithm" slot of the
+// paper's framework (§2.1), built after CUPID's name matching: normalize,
+// tokenize, discount noise tokens, consult the thesaurus per token, fall
+// back to string metrics, and aggregate token scores symmetrically.
+
+// Kind classifies a label-axis match per the QMatch taxonomy.
+type Kind int
+
+const (
+	// None: the labels do not match.
+	None Kind = iota
+	// Relaxed: hypernym, acronym, abbreviation or strong string
+	// similarity.
+	Relaxed
+	// Exact: string-equal, synonym, or ontology match.
+	Exact
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Exact:
+		return "exact"
+	case Relaxed:
+		return "relaxed"
+	default:
+		return "none"
+	}
+}
+
+// NameMatcher scores label pairs. The zero value is not usable; construct
+// with NewNameMatcher. A NameMatcher memoizes tokenizations and token-pair
+// similarities and is therefore not safe for concurrent use; give each
+// goroutine its own instance.
+type NameMatcher struct {
+	// Thesaurus supplies synonym / hypernym / acronym relations.
+	Thesaurus *Thesaurus
+	// RelaxedScore is the similarity assigned to thesaurus- or
+	// abbreviation-derived relaxed matches (default 0.85).
+	RelaxedScore float64
+	// StringSimFloor is the minimum combined string similarity for two
+	// tokens with no thesaurus relation to be considered similar at all
+	// (default 0.75). Below the floor a token pair contributes zero.
+	StringSimFloor float64
+	// MatchThreshold is the minimum aggregate token score for the pair
+	// to classify as Relaxed rather than None (default 0.65). Pairs that
+	// classify as None score 0 on the label axis.
+	MatchThreshold float64
+
+	tokens    map[string][]string
+	normed    map[string]string
+	tokenSims map[[2]string]tokenScore
+}
+
+type tokenScore struct {
+	score float64
+	exact bool
+}
+
+// NewNameMatcher returns a NameMatcher with the default tuning over the
+// given thesaurus (nil selects an empty thesaurus, disabling semantic
+// relations but keeping string similarity).
+func NewNameMatcher(t *Thesaurus) *NameMatcher {
+	if t == nil {
+		t = NewThesaurus()
+	}
+	return &NameMatcher{
+		Thesaurus:      t,
+		RelaxedScore:   0.85,
+		StringSimFloor: 0.75,
+		MatchThreshold: 0.65,
+		tokens:         map[string][]string{},
+		normed:         map[string]string{},
+		tokenSims:      map[[2]string]tokenScore{},
+	}
+}
+
+// tokenize returns the memoized noise-stripped token list of a label.
+func (m *NameMatcher) tokenize(label string) []string {
+	if ts, ok := m.tokens[label]; ok {
+		return ts
+	}
+	ts := StripNoise(Tokenize(label))
+	m.tokens[label] = ts
+	return ts
+}
+
+// normalize returns the memoized normalized form of a label.
+func (m *NameMatcher) normalize(label string) string {
+	if n, ok := m.normed[label]; ok {
+		return n
+	}
+	n := Normalize(label)
+	m.normed[label] = n
+	return n
+}
+
+// Match returns the similarity score in [0,1] and its taxonomy kind for two
+// labels. A None classification always scores 0 — the label axis either
+// matches (exactly or relaxedly) or it does not (paper §2.1).
+func (m *NameMatcher) Match(a, b string) (float64, Kind) {
+	na, nb := m.normalize(a), m.normalize(b)
+	if na == "" || nb == "" {
+		return 0, None
+	}
+	if na == nb || Singularize(na) == Singularize(nb) {
+		return 1, Exact
+	}
+	// Whole-label thesaurus relation.
+	switch m.Thesaurus.RelateNormalized(na, nb) {
+	case RelSynonym:
+		return 1, Exact
+	case RelAcronym, RelHypernym, RelHyponym, RelRelated:
+		return m.RelaxedScore, Relaxed
+	}
+	ta, tb := m.tokenize(a), m.tokenize(b)
+	// Whole-label acronym / abbreviation detection (inline AbbrevMatch,
+	// reusing the cached tokenizations).
+	if m.abbrevMatch(na, nb, ta, tb) {
+		return m.RelaxedScore, Relaxed
+	}
+	// Token-level aggregation.
+	score, allExact, fullCover := m.tokenAggregate(ta, tb)
+	if score >= m.MatchThreshold {
+		if allExact && fullCover && score >= 0.999 {
+			return score, Exact
+		}
+		return score, Relaxed
+	}
+	// Last resort: whole-string similarity of normalized labels, useful
+	// for labels that tokenize poorly ("custaddr").
+	if ws := combinedStringSim(na, nb); ws >= m.StringSimFloor {
+		return ws, Relaxed
+	}
+	return 0, None
+}
+
+// abbrevMatch is AbbrevMatch over pre-computed normalized forms and token
+// lists: one label must acronymize or abbreviate the other. Word-level
+// abbreviation only applies when the long side is a single token —
+// detecting "end" as an "abbreviation" of the concatenation "entity"+"id"
+// would be a false positive across a token boundary.
+func (m *NameMatcher) abbrevMatch(na, nb string, ta, tb []string) bool {
+	ns, nl, tl := na, nb, tb
+	if len(na) > len(nb) {
+		ns, nl, tl = nb, na, ta
+	}
+	if len(tl) >= 2 && len(ns) == len(tl) {
+		// Compare ns against the tokens' first letters in place (the
+		// FirstLetters string build is avoidable on this hot path).
+		acronym := true
+		for i, tok := range tl {
+			if tok == "" || tok[0] != ns[i] {
+				acronym = false
+				break
+			}
+		}
+		if acronym {
+			return true
+		}
+	}
+	return len(tl) == 1 && IsAbbreviationOf(ns, nl)
+}
+
+// Score returns just the similarity of two labels.
+func (m *NameMatcher) Score(a, b string) float64 {
+	s, _ := m.Match(a, b)
+	return s
+}
+
+// tokenAggregate performs symmetric best-pair aggregation over the token
+// sets: each token is matched to its best counterpart; the aggregate is the
+// mean of the two directional averages. It reports whether every best match
+// was exact and whether every token on both sides found a counterpart.
+func (m *NameMatcher) tokenAggregate(ta, tb []string) (score float64, allExact, fullCover bool) {
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0, false, false
+	}
+	allExact, fullCover = true, true
+	dirA := m.direction(ta, tb, &allExact, &fullCover)
+	dirB := m.direction(tb, ta, &allExact, &fullCover)
+	return (dirA + dirB) / 2, allExact, fullCover
+}
+
+func (m *NameMatcher) direction(from, to []string, allExact, fullCover *bool) float64 {
+	total := 0.0
+	for _, ft := range from {
+		best, bestExact := 0.0, false
+		for _, tt := range to {
+			s := m.tokenSim(ft, tt)
+			if s.score > best || (s.score == best && s.exact && !bestExact) {
+				best, bestExact = s.score, s.exact
+			}
+		}
+		if best == 0 {
+			*fullCover = false
+		}
+		if !bestExact {
+			*allExact = false
+		}
+		total += best
+	}
+	return total / float64(len(from))
+}
+
+// tokenSim scores one token pair (memoized symmetrically).
+func (m *NameMatcher) tokenSim(a, b string) tokenScore {
+	key := [2]string{a, b}
+	if a > b {
+		key = [2]string{b, a}
+	}
+	if s, ok := m.tokenSims[key]; ok {
+		return s
+	}
+	s := m.tokenSimUncached(a, b)
+	m.tokenSims[key] = s
+	return s
+}
+
+func (m *NameMatcher) tokenSimUncached(a, b string) tokenScore {
+	if a == b || Singularize(a) == Singularize(b) {
+		return tokenScore{1, true}
+	}
+	// Tokens are already lowercase and separator-free.
+	switch m.Thesaurus.RelateNormalized(a, b) {
+	case RelSynonym:
+		return tokenScore{1, true}
+	case RelAcronym, RelHypernym, RelHyponym, RelRelated:
+		return tokenScore{m.RelaxedScore, false}
+	}
+	if IsAbbreviationOf(a, b) || IsAbbreviationOf(b, a) {
+		return tokenScore{m.RelaxedScore, false}
+	}
+	if s := combinedStringSim(a, b); s >= m.StringSimFloor {
+		return tokenScore{s, false}
+	}
+	return tokenScore{}
+}
+
+// combinedStringSim blends Jaro-Winkler and trigram similarity, the pairing
+// that behaves well on both short tokens (JW) and longer compound labels
+// (trigrams). When Jaro-Winkler alone already rules out reaching the 0.75
+// floor (trigram similarity can contribute at most 1), the allocation-heavy
+// trigram pass is skipped.
+func combinedStringSim(a, b string) float64 {
+	jw := JaroWinkler(a, b)
+	if jw < 0.5 {
+		return jw / 2
+	}
+	tg := TrigramSim(a, b)
+	return (jw + tg) / 2
+}

@@ -1,0 +1,124 @@
+package lingo
+
+import "strings"
+
+// Additional similarity measures: phonetic matching (Soundex) and
+// token-set measures (Jaccard, Monge-Elkan). These round out the toolkit
+// so alternative linguistic matchers can be plugged into the QMatch
+// framework — the paper notes its linguistic component "can be easily
+// replaced by other perhaps better performing linguistic ... algorithms".
+
+// Soundex returns the classic four-character Soundex code of a word
+// ("Robert" → "R163"). Non-ASCII-letter characters are ignored; an empty
+// or letterless input yields "".
+func Soundex(word string) string {
+	word = strings.ToUpper(word)
+	var first byte
+	var digits []byte
+	prev := byte(0)
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'A' || c > 'Z' {
+			continue
+		}
+		d := soundexDigit(c)
+		if first == 0 {
+			first = c
+			prev = d
+			continue
+		}
+		switch {
+		case d == 0:
+			// Vowels and H/W/Y: vowels reset the separator, H/W do not.
+			if c != 'H' && c != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			digits = append(digits, '0'+d)
+			prev = d
+		}
+		if len(digits) == 3 {
+			break
+		}
+	}
+	if first == 0 {
+		return ""
+	}
+	for len(digits) < 3 {
+		digits = append(digits, '0')
+	}
+	return string(first) + string(digits)
+}
+
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	default:
+		return 0
+	}
+}
+
+// SoundexEqual reports whether two words share a Soundex code — a coarse
+// phonetic match useful for misspelled labels.
+func SoundexEqual(a, b string) bool {
+	ca, cb := Soundex(a), Soundex(b)
+	return ca != "" && ca == cb
+}
+
+// JaccardTokens returns the Jaccard similarity of the token sets of two
+// labels: |A ∩ B| / |A ∪ B|. Two labels with no tokens are fully similar.
+func JaccardTokens(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// MongeElkan returns the Monge-Elkan similarity of two labels: the mean,
+// over the first label's tokens, of each token's best Jaro-Winkler match
+// in the second label. It is asymmetric by definition; use
+// MongeElkanSymmetric for a symmetric variant.
+func MongeElkan(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(ta))
+}
+
+// MongeElkanSymmetric is the mean of the two Monge-Elkan directions.
+func MongeElkanSymmetric(a, b string) float64 {
+	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+}

@@ -1,0 +1,122 @@
+package lingo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoundexClassicValues(t *testing.T) {
+	// Reference values from the Soundex specification.
+	cases := map[string]string{
+		"Robert":     "R163",
+		"Rupert":     "R163",
+		"Ashcraft":   "A261", // H does not separate equal codes
+		"Ashcroft":   "A261",
+		"Tymczak":    "T522",
+		"Pfister":    "P236",
+		"Honeyman":   "H555",
+		"Washington": "W252",
+		"a":          "A000",
+		"":           "",
+		"123":        "",
+	}
+	for in, want := range cases {
+		if got := Soundex(in); got != want {
+			t.Errorf("Soundex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSoundexEqual(t *testing.T) {
+	if !SoundexEqual("Robert", "rupert") {
+		t.Fatal("Robert/Rupert should match")
+	}
+	if SoundexEqual("Robert", "Quantity") {
+		t.Fatal("unrelated words matched")
+	}
+	if SoundexEqual("", "") {
+		t.Fatal("empty inputs should not match")
+	}
+}
+
+func TestSoundexProperties(t *testing.T) {
+	prop := func(s string) bool {
+		if len(s) > 15 {
+			s = s[:15]
+		}
+		code := Soundex(s)
+		if code == "" {
+			return true
+		}
+		if len(code) != 4 {
+			return false
+		}
+		if code[0] < 'A' || code[0] > 'Z' {
+			return false
+		}
+		for i := 1; i < 4; i++ {
+			if code[i] < '0' || code[i] > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"OrderNo", "OrderNo", 1},
+		{"PurchaseOrderNumber", "OrderNumber", 2.0 / 3},
+		{"abc", "xyz", 0},
+		{"", "", 1},
+		{"", "x", 0},
+	}
+	for _, c := range cases {
+		if got := JaccardTokens(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("JaccardTokens(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	// Every token of "OrderNumber" has a strong counterpart in
+	// "PurchaseOrderNumber"; the reverse direction is diluted.
+	fwd := MongeElkan("OrderNumber", "PurchaseOrderNumber")
+	rev := MongeElkan("PurchaseOrderNumber", "OrderNumber")
+	if fwd <= rev {
+		t.Fatalf("asymmetry expected: fwd %v, rev %v", fwd, rev)
+	}
+	if fwd < 0.99 {
+		t.Fatalf("fwd = %v, want ~1", fwd)
+	}
+	sym := MongeElkanSymmetric("OrderNumber", "PurchaseOrderNumber")
+	if math.Abs(sym-(fwd+rev)/2) > 1e-9 {
+		t.Fatalf("symmetric = %v", sym)
+	}
+	if got := MongeElkan("", "x"); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestMongeElkanBounds(t *testing.T) {
+	prop := func(a, b string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		v := MongeElkanSymmetric(a, b)
+		return v >= 0 && v <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package linguistic implements the standalone linguistic match algorithm
+// the paper evaluates QMatch against (§5: "we developed linguistic and
+// structural algorithms based on the algorithms presented as part of
+// CUPID"). It scores every source/target node pair purely on label
+// similarity — thesaurus relations, acronym/abbreviation detection and
+// string metrics via lingo.NameMatcher — and ignores structure, properties
+// and levels entirely.
+package linguistic
+
+import (
+	"qmatch/internal/lingo"
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// Matcher is the linguistic-only baseline.
+type Matcher struct {
+	// Names scores label pairs.
+	Names *lingo.NameMatcher
+	// SelectionThreshold is the minimum label similarity for a pair to
+	// be reported as a correspondence. Default 0.8.
+	SelectionThreshold float64
+}
+
+// New returns a linguistic matcher over the given thesaurus (nil selects
+// the built-in default).
+func New(th *lingo.Thesaurus) *Matcher {
+	if th == nil {
+		th = lingo.Default()
+	}
+	return &Matcher{
+		Names:              lingo.NewNameMatcher(th),
+		SelectionThreshold: 0.8,
+	}
+}
+
+// Name implements match.Algorithm.
+func (m *Matcher) Name() string { return "linguistic" }
+
+// Pairs returns the full label-similarity table between the two schemas in
+// deterministic pre-order.
+func (m *Matcher) Pairs(src, tgt *xmltree.Node) []match.ScoredPair {
+	srcs, tgts := src.Nodes(), tgt.Nodes()
+	out := make([]match.ScoredPair, 0, len(srcs)*len(tgts))
+	for _, s := range srcs {
+		for _, t := range tgts {
+			out = append(out, match.ScoredPair{
+				Source: s,
+				Target: t,
+				Score:  m.Names.Score(s.Label, t.Label),
+			})
+		}
+	}
+	return out
+}
+
+// Match implements match.Algorithm: one-to-one selection over the label
+// similarity table.
+func (m *Matcher) Match(src, tgt *xmltree.Node) []match.Correspondence {
+	return match.Select(m.Pairs(src, tgt), m.SelectionThreshold)
+}
+
+// TreeScore implements match.Algorithm: the overall linguistic match value
+// of the schemas, defined as the mean over source nodes of their best label
+// similarity in the target — how linguistically "coverable" the source is.
+func (m *Matcher) TreeScore(src, tgt *xmltree.Node) float64 {
+	srcs := src.Nodes()
+	if len(srcs) == 0 {
+		return 0
+	}
+	tgts := tgt.Nodes()
+	total := 0.0
+	for _, s := range srcs {
+		best := 0.0
+		for _, t := range tgts {
+			if v := m.Names.Score(s.Label, t.Label); v > best {
+				best = v
+			}
+		}
+		total += best
+	}
+	return total / float64(len(srcs))
+}
+
+var _ match.Algorithm = (*Matcher)(nil)

@@ -1,0 +1,113 @@
+package linguistic
+
+import (
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/lingo"
+	"qmatch/internal/xmltree"
+)
+
+func TestName(t *testing.T) {
+	if New(nil).Name() != "linguistic" {
+		t.Fatal("name")
+	}
+}
+
+func TestMatchPOPair(t *testing.T) {
+	p := dataset.POPair()
+	m := New(nil)
+	cs := m.Match(p.Source, p.Target)
+	if len(cs) == 0 {
+		t.Fatal("no correspondences")
+	}
+	has := func(s, tgt string) bool {
+		for _, c := range cs {
+			if c.Source == s && c.Target == tgt {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("PO/OrderNo", "PurchaseOrder/OrderNo") {
+		t.Error("exact label pair missed")
+	}
+	if !has("PO/PurchaseInfo/Lines/Quantity", "PurchaseOrder/Items/Qty") {
+		t.Error("acronym pair missed")
+	}
+	// 1:1: no source or target repeats.
+	seenS, seenT := map[string]bool{}, map[string]bool{}
+	for _, c := range cs {
+		if seenS[c.Source] || seenT[c.Target] {
+			t.Fatalf("selection not 1:1 at %v", c)
+		}
+		seenS[c.Source], seenT[c.Target] = true, true
+	}
+}
+
+func TestMatchIgnoresStructure(t *testing.T) {
+	// Two single-node schemas with matching labels: structure plays no
+	// role, the pair is still found.
+	s := xmltree.New("Writer", xmltree.Elem("string"))
+	tn := xmltree.New("Author", xmltree.Elem("date")) // type mismatch irrelevant
+	cs := New(nil).Match(s, tn)
+	if len(cs) != 1 || cs[0].Score != 1 {
+		t.Fatalf("cs = %v", cs)
+	}
+}
+
+func TestTreeScoreDisjointVsIdentical(t *testing.T) {
+	m := New(nil)
+	p := dataset.LibraryHumanPair()
+	low := m.TreeScore(p.Source, p.Target)
+	if low >= 0.5 {
+		t.Fatalf("disjoint vocabulary tree score = %v", low)
+	}
+	po := dataset.PO1()
+	if got := m.TreeScore(po, dataset.PO1()); got != 1 {
+		t.Fatalf("identical tree score = %v", got)
+	}
+}
+
+func TestTreeScoreEmptyIshTrees(t *testing.T) {
+	m := New(nil)
+	a := xmltree.New("A", xmltree.Elem(""))
+	b := xmltree.New("B", xmltree.Elem(""))
+	v := m.TreeScore(a, b)
+	if v < 0 || v > 1 {
+		t.Fatalf("score out of range: %v", v)
+	}
+}
+
+func TestPairsTableComplete(t *testing.T) {
+	p := dataset.BookPair()
+	pairs := New(nil).Pairs(p.Source, p.Target)
+	if len(pairs) != p.Source.Size()*p.Target.Size() {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for _, sp := range pairs {
+		if sp.Score < 0 || sp.Score > 1 {
+			t.Fatalf("score out of range: %v", sp.Score)
+		}
+	}
+}
+
+func TestCustomThesaurus(t *testing.T) {
+	th := lingo.NewThesaurus()
+	th.AddSynonym("foo", "bar")
+	m := New(th)
+	s := xmltree.New("Foo", xmltree.Elem("string"))
+	tn := xmltree.New("Bar", xmltree.Elem("string"))
+	if cs := m.Match(s, tn); len(cs) != 1 {
+		t.Fatalf("custom thesaurus not used: %v", cs)
+	}
+}
+
+func TestSelectionThreshold(t *testing.T) {
+	m := New(nil)
+	m.SelectionThreshold = 1.01 // nothing can pass
+	p := dataset.POPair()
+	if cs := m.Match(p.Source, p.Target); len(cs) != 0 {
+		t.Fatalf("threshold ignored: %v", cs)
+	}
+}

@@ -1,0 +1,208 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qmatch/internal/lingo"
+	"qmatch/internal/xmltree"
+)
+
+// Complex (1:n) correspondences: a single source element that corresponds
+// to the combination of several sibling target elements — the classic
+// Name ↔ FirstName + LastName split. One-to-one matchers structurally
+// cannot express these; detecting them is a separate pass over the
+// unmatched remainder (COMA++ and later systems call these "complex
+// matches").
+
+// ComplexCorrespondence maps one source element to an ordered set of
+// sibling target elements whose tokens jointly cover it.
+type ComplexCorrespondence struct {
+	Source  string
+	Targets []string
+	Score   float64
+}
+
+// String renders "Article/Author -> {FirstName, LastName} (0.92)".
+func (c ComplexCorrespondence) String() string {
+	short := make([]string, len(c.Targets))
+	for i, t := range c.Targets {
+		if idx := strings.LastIndexByte(t, '/'); idx >= 0 {
+			short[i] = t[idx+1:]
+		} else {
+			short[i] = t
+		}
+	}
+	return fmt.Sprintf("%s -> {%s} (%.2f)", c.Source, strings.Join(short, ", "), c.Score)
+}
+
+// ComplexConfig tunes FindComplex.
+type ComplexConfig struct {
+	// Names scores token pairs; nil selects the built-in thesaurus.
+	Names *lingo.NameMatcher
+	// MinScore is the minimum per-token coverage score for a 1:n
+	// candidate to be reported (default 0.8).
+	MinScore float64
+	// MaxTargets bounds the size of the target combination (default 4).
+	MaxTargets int
+}
+
+// FindComplex searches for 1:n correspondences between source leaves and
+// combinations of sibling target leaves. Already-matched elements (the
+// output of a 1:1 pass) are excluded, so the complex pass explains the
+// remainder.
+//
+// The detection signature is the *shared head token*: a split like
+// FirstName + LastName ↔ FullName keeps the unsplit concept as the last
+// token of every fragment ("name"), with the fragments differing only in
+// their qualifiers. A source leaf S maps to target siblings {T1..Tk} when
+// at least two unmatched siblings share S's head token, scored by the
+// head similarities and the coverage of S's qualifier tokens by the
+// candidates' qualifiers or their parent's label ("AuthorName" ↔
+// Author/{FirstName, LastName}: the parent covers "author").
+func FindComplex(src, tgt *xmltree.Node, matched []Correspondence, cfg ComplexConfig) []ComplexCorrespondence {
+	if cfg.Names == nil {
+		cfg.Names = lingo.NewNameMatcher(lingo.Default())
+	}
+	if cfg.MinScore == 0 {
+		cfg.MinScore = 0.8
+	}
+	if cfg.MaxTargets == 0 {
+		cfg.MaxTargets = 4
+	}
+	usedS := map[string]bool{}
+	usedT := map[string]bool{}
+	for _, c := range matched {
+		usedS[c.Source] = true
+		usedT[c.Target] = true
+	}
+
+	var out []ComplexCorrespondence
+	src.Walk(func(s *xmltree.Node) bool {
+		if !s.IsLeaf() || usedS[s.Path()] {
+			return true
+		}
+		sTokens := lingo.StripNoise(lingo.Tokenize(s.Label))
+		if len(sTokens) == 0 {
+			return true
+		}
+		best := ComplexCorrespondence{}
+		tgt.Walk(func(parent *xmltree.Node) bool {
+			if parent.IsLeaf() {
+				return true
+			}
+			cand := complexUnder(s, sTokens, parent, usedT, cfg)
+			if cand != nil && (len(best.Targets) == 0 || cand.Score > best.Score) {
+				best = *cand
+			}
+			return true
+		})
+		if len(best.Targets) >= 2 && best.Score >= cfg.MinScore {
+			out = append(out, best)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// wholenessWords qualify the unsplit whole and are vacuously covered by
+// any split ("FullName" ↔ FirstName + LastName).
+var wholenessWords = map[string]bool{
+	"full": true, "complete": true, "whole": true, "entire": true, "total": true,
+}
+
+// complexUnder tries to cover the source leaf with unmatched leaf children
+// of one target parent.
+func complexUnder(s *xmltree.Node, sTokens []string, parent *xmltree.Node, usedT map[string]bool, cfg ComplexConfig) *ComplexCorrespondence {
+	head := sTokens[len(sTokens)-1]
+	qualifiers := sTokens[:len(sTokens)-1]
+
+	// Candidates: unmatched leaf siblings sharing the head token.
+	type cand struct {
+		node    *xmltree.Node
+		headSim float64
+		tokens  []string
+	}
+	var cands []cand
+	for _, ct := range parent.Children {
+		if !ct.IsLeaf() || usedT[ct.Path()] {
+			continue
+		}
+		tTokens := lingo.StripNoise(lingo.Tokenize(ct.Label))
+		if len(tTokens) == 0 {
+			continue
+		}
+		tHead := tTokens[len(tTokens)-1]
+		sim := tokenScore(cfg.Names, head, tHead)
+		if sim < 0.8 {
+			continue
+		}
+		cands = append(cands, cand{node: ct, headSim: sim, tokens: tTokens})
+	}
+	if len(cands) < 2 || len(cands) > cfg.MaxTargets {
+		return nil
+	}
+
+	// Source qualifiers must be explained — by a candidate's qualifier
+	// tokens, by the target parent's label, or by being a wholeness
+	// word. Coverage scales the score; an unexplained qualifier that is
+	// not a wholeness word vetoes nothing but costs heavily.
+	parentTokens := lingo.StripNoise(lingo.Tokenize(parent.Label))
+	coverage := 1.0
+	if len(qualifiers) > 0 {
+		covered := 0
+		for _, q := range qualifiers {
+			if wholenessWords[q] {
+				covered++
+				continue
+			}
+			best := 0.0
+			for _, pt := range parentTokens {
+				if v := tokenScore(cfg.Names, q, pt); v > best {
+					best = v
+				}
+			}
+			for _, c := range cands {
+				for _, tt := range c.tokens {
+					if v := tokenScore(cfg.Names, q, tt); v > best {
+						best = v
+					}
+				}
+			}
+			if best >= 0.5 {
+				covered++
+			}
+		}
+		coverage = float64(covered) / float64(len(qualifiers))
+	}
+
+	headTotal := 0.0
+	targets := make([]string, len(cands))
+	for i, c := range cands {
+		headTotal += c.headSim
+		targets[i] = c.node.Path()
+	}
+	return &ComplexCorrespondence{
+		Source:  s.Path(),
+		Targets: targets,
+		Score:   (headTotal / float64(len(cands))) * (0.5 + 0.5*coverage),
+	}
+}
+
+// tokenScore scores one token pair: exact/synonym 1, hypernym-family
+// relations and abbreviations via the name matcher's relaxed score, string
+// similarity as a floor.
+func tokenScore(m *lingo.NameMatcher, a, b string) float64 {
+	s, kind := m.Match(a, b)
+	if kind == lingo.None {
+		return 0
+	}
+	return s
+}

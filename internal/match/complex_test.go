@@ -1,0 +1,117 @@
+package match
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/xmltree"
+)
+
+// nameSplit builds the classic 1:n scenario: source AuthorName vs target
+// FirstName + LastName.
+func nameSplitSchemas() (*xmltree.Node, *xmltree.Node) {
+	src := xmltree.NewTree("Record", xmltree.Elem(""),
+		xmltree.New("AuthorName", xmltree.Elem("string")),
+		xmltree.New("ISBN", xmltree.Elem("string")),
+	)
+	tgt := xmltree.NewTree("Entry", xmltree.Elem(""),
+		xmltree.NewTree("Author", xmltree.Elem(""),
+			xmltree.New("FirstName", xmltree.Elem("string")),
+			xmltree.New("LastName", xmltree.Elem("string")),
+		),
+		xmltree.New("BookNumber", xmltree.Elem("string")),
+	)
+	return src, tgt
+}
+
+func TestFindComplexNameSplit(t *testing.T) {
+	src, tgt := nameSplitSchemas()
+	got := FindComplex(src, tgt, nil, ComplexConfig{})
+	if len(got) != 1 {
+		t.Fatalf("complex = %v", got)
+	}
+	c := got[0]
+	if c.Source != "Record/AuthorName" {
+		t.Fatalf("source = %s", c.Source)
+	}
+	if len(c.Targets) != 2 ||
+		c.Targets[0] != "Entry/Author/FirstName" ||
+		c.Targets[1] != "Entry/Author/LastName" {
+		t.Fatalf("targets = %v", c.Targets)
+	}
+	if c.Score < 0.8 {
+		t.Fatalf("score = %v", c.Score)
+	}
+	if !strings.Contains(c.String(), "{FirstName, LastName}") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestFindComplexExcludesMatched(t *testing.T) {
+	src, tgt := nameSplitSchemas()
+	// Pretend a 1:1 pass already consumed FirstName.
+	matched := []Correspondence{{Source: "Record/ISBN", Target: "Entry/Author/FirstName"}}
+	got := FindComplex(src, tgt, matched, ComplexConfig{})
+	if len(got) != 0 {
+		t.Fatalf("complex over consumed targets = %v", got)
+	}
+	// And a consumed source never appears.
+	matched = []Correspondence{{Source: "Record/AuthorName", Target: "Entry/BookNumber"}}
+	if got := FindComplex(src, tgt, matched, ComplexConfig{}); len(got) != 0 {
+		t.Fatalf("consumed source reported = %v", got)
+	}
+}
+
+func TestFindComplexNoFalsePositives(t *testing.T) {
+	// Unrelated target siblings must not combine into a phantom split.
+	src := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("AuthorName", xmltree.Elem("string")),
+	)
+	tgt := xmltree.NewTree("S", xmltree.Elem(""),
+		xmltree.New("ZipCode", xmltree.Elem("string")),
+		xmltree.New("Telephone", xmltree.Elem("string")),
+	)
+	if got := FindComplex(src, tgt, nil, ComplexConfig{}); len(got) != 0 {
+		t.Fatalf("phantom complex = %v", got)
+	}
+}
+
+func TestFindComplexPartialSiblingSet(t *testing.T) {
+	// The target parent has an extra sibling (MiddleName relates,
+	// Affiliation does not): the combination must include only the
+	// related leaves.
+	src := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("FullName", xmltree.Elem("string")),
+	)
+	tgt := xmltree.NewTree("S", xmltree.Elem(""),
+		xmltree.New("FirstName", xmltree.Elem("string")),
+		xmltree.New("LastName", xmltree.Elem("string")),
+		xmltree.New("Salary", xmltree.Elem("decimal")),
+	)
+	got := FindComplex(src, tgt, nil, ComplexConfig{})
+	if len(got) != 1 {
+		t.Fatalf("complex = %v", got)
+	}
+	for _, target := range got[0].Targets {
+		if strings.Contains(target, "Salary") {
+			t.Fatalf("unrelated sibling joined: %v", got[0])
+		}
+	}
+}
+
+func TestFindComplexAddressSplit(t *testing.T) {
+	// A second classic: Address ↔ Street + City (+ ZipCode is "zip
+	// code", unrelated to "address" tokens, so it stays out unless the
+	// thesaurus relates it).
+	src := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("StreetCityAddress", xmltree.Elem("string")),
+	)
+	tgt := xmltree.NewTree("S", xmltree.Elem(""),
+		xmltree.New("StreetAddress", xmltree.Elem("string")),
+		xmltree.New("CityAddress", xmltree.Elem("string")),
+	)
+	got := FindComplex(src, tgt, nil, ComplexConfig{})
+	if len(got) != 1 || len(got[0].Targets) != 2 {
+		t.Fatalf("address split = %v", got)
+	}
+}

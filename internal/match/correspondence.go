@@ -1,0 +1,112 @@
+// Package match defines the shared vocabulary of all matchers in this
+// repository: correspondences (predicted element mappings), one-to-one
+// selection from scored pair tables, gold standards ("manually determined
+// real matches", paper §5.1), and the evaluation metrics the paper reports
+// — Precision, Recall and the combined Overall measure.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qmatch/internal/xmltree"
+)
+
+// Correspondence is one predicted (or gold) mapping between a source and a
+// target schema element, identified by their tree paths.
+type Correspondence struct {
+	Source string  // source node path, e.g. "PO/OrderNo"
+	Target string  // target node path
+	Score  float64 // matcher confidence in [0,1]; 1 for gold entries
+}
+
+// String renders "PO/OrderNo -> PurchaseOrder/OrderNo (0.87)".
+func (c Correspondence) String() string {
+	return fmt.Sprintf("%s -> %s (%.2f)", c.Source, c.Target, c.Score)
+}
+
+// key identifies a correspondence irrespective of score.
+func (c Correspondence) key() string { return c.Source + "\x00" + c.Target }
+
+// Gold is a set of manually determined real matches for one match task.
+type Gold struct {
+	pairs map[string]bool
+	list  []Correspondence
+}
+
+// NewGold builds a gold standard from source→target path pairs. Duplicate
+// pairs are stored once.
+func NewGold(pairs ...[2]string) *Gold {
+	g := &Gold{pairs: map[string]bool{}}
+	for _, p := range pairs {
+		c := Correspondence{Source: p[0], Target: p[1], Score: 1}
+		if !g.pairs[c.key()] {
+			g.pairs[c.key()] = true
+			g.list = append(g.list, c)
+		}
+	}
+	return g
+}
+
+// Contains reports whether the gold standard holds the given mapping.
+func (g *Gold) Contains(source, target string) bool {
+	return g.pairs[Correspondence{Source: source, Target: target}.key()]
+}
+
+// Size returns |R|, the number of real matches.
+func (g *Gold) Size() int { return len(g.list) }
+
+// List returns the gold correspondences in insertion order.
+func (g *Gold) List() []Correspondence {
+	out := make([]Correspondence, len(g.list))
+	copy(out, g.list)
+	return out
+}
+
+// Validate checks that every gold path exists in the given trees, returning
+// a descriptive error for the first dangling path — a guard against gold
+// standards drifting from their schemas.
+func (g *Gold) Validate(src, tgt *xmltree.Node) error {
+	for _, c := range g.list {
+		if src.Find(c.Source) == nil {
+			return fmt.Errorf("gold source path %q not in schema %s", c.Source, src.Label)
+		}
+		if tgt.Find(c.Target) == nil {
+			return fmt.Errorf("gold target path %q not in schema %s", c.Target, tgt.Label)
+		}
+	}
+	return nil
+}
+
+// Algorithm is the interface every matcher (linguistic, structural, hybrid
+// QMatch) implements, so the evaluation harness can treat them uniformly.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("linguistic",
+	// "structural", "hybrid").
+	Name() string
+	// Match returns the predicted correspondences between two schemas.
+	Match(src, tgt *xmltree.Node) []Correspondence
+	// TreeScore returns the algorithm's overall match value for the two
+	// schemas — the "total match value presented to the user" (Fig. 9).
+	TreeScore(src, tgt *xmltree.Node) float64
+}
+
+// FormatCorrespondences renders a correspondence list one per line, sorted
+// by descending score then source path — the CLI output format.
+func FormatCorrespondences(cs []Correspondence) string {
+	sorted := make([]Correspondence, len(cs))
+	copy(sorted, cs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].Source < sorted[j].Source
+	})
+	var b strings.Builder
+	for _, c := range sorted {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

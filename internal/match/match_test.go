@@ -1,0 +1,299 @@
+package match
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qmatch/internal/xmltree"
+)
+
+func nodes(labels ...string) []*xmltree.Node {
+	out := make([]*xmltree.Node, len(labels))
+	for i, l := range labels {
+		out[i] = xmltree.New(l, xmltree.Elem("string"))
+	}
+	return out
+}
+
+func TestSelectGreedyOneToOne(t *testing.T) {
+	s := nodes("a", "b")
+	tt := nodes("x", "y")
+	pairs := []ScoredPair{
+		{s[0], tt[0], 0.9},
+		{s[0], tt[1], 0.8},
+		{s[1], tt[0], 0.85}, // loses x to a (0.9 > 0.85)
+		{s[1], tt[1], 0.7},
+	}
+	got := Select(pairs, 0.5)
+	if len(got) != 2 {
+		t.Fatalf("selected %d, want 2", len(got))
+	}
+	if got[0].Source != "a" || got[0].Target != "x" {
+		t.Fatalf("first = %v", got[0])
+	}
+	if got[1].Source != "b" || got[1].Target != "y" {
+		t.Fatalf("second = %v", got[1])
+	}
+}
+
+func TestSelectThreshold(t *testing.T) {
+	s := nodes("a")
+	tt := nodes("x")
+	if got := Select([]ScoredPair{{s[0], tt[0], 0.4}}, 0.5); len(got) != 0 {
+		t.Fatalf("below-threshold pair selected: %v", got)
+	}
+	if got := Select([]ScoredPair{{s[0], tt[0], 0.5}}, 0.5); len(got) != 1 {
+		t.Fatal("at-threshold pair rejected")
+	}
+}
+
+func TestSelectSkipsNil(t *testing.T) {
+	s := nodes("a")
+	if got := Select([]ScoredPair{{s[0], nil, 0.9}, {nil, s[0], 0.9}}, 0); len(got) != 0 {
+		t.Fatalf("nil endpoints selected: %v", got)
+	}
+}
+
+func TestSelectDeterministicTies(t *testing.T) {
+	s := nodes("a", "b")
+	tt := nodes("x", "y")
+	pairs := []ScoredPair{
+		{s[1], tt[1], 0.8},
+		{s[0], tt[0], 0.8},
+		{s[1], tt[0], 0.8},
+		{s[0], tt[1], 0.8},
+	}
+	got := Select(pairs, 0)
+	// Ties resolve by source path then target path: a→x, b→y.
+	if got[0].Source != "a" || got[0].Target != "x" || got[1].Source != "b" || got[1].Target != "y" {
+		t.Fatalf("tie-break order = %v", got)
+	}
+}
+
+// Property: Select output is always a partial injective mapping and never
+// exceeds min(#sources, #targets).
+func TestSelectInjectiveProperty(t *testing.T) {
+	prop := func(scores []float64) bool {
+		ns := nodes("s0", "s1", "s2", "s3")
+		nt := nodes("t0", "t1", "t2")
+		var pairs []ScoredPair
+		k := 0
+		for _, s := range ns {
+			for _, tn := range nt {
+				if k < len(scores) {
+					v := math.Abs(scores[k])
+					v -= math.Floor(v) // clamp into [0,1)
+					pairs = append(pairs, ScoredPair{s, tn, v})
+					k++
+				}
+			}
+		}
+		got := Select(pairs, 0.2)
+		if len(got) > 3 {
+			return false
+		}
+		seenS, seenT := map[string]bool{}, map[string]bool{}
+		for _, c := range got {
+			if seenS[c.Source] || seenT[c.Target] || c.Score < 0.2 {
+				return false
+			}
+			seenS[c.Source], seenT[c.Target] = true, true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectAll(t *testing.T) {
+	s := nodes("a")
+	tt := nodes("x", "y")
+	pairs := []ScoredPair{
+		{s[0], tt[0], 0.9},
+		{s[0], tt[1], 0.8}, // 1:n allowed here
+		{s[0], nil, 0.99},
+	}
+	got := SelectAll(pairs, 0.5)
+	if len(got) != 2 {
+		t.Fatalf("SelectAll = %v", got)
+	}
+	if got[0].Score < got[1].Score {
+		t.Fatal("SelectAll not sorted")
+	}
+}
+
+func TestGold(t *testing.T) {
+	g := NewGold(
+		[2]string{"PO/OrderNo", "PurchaseOrder/OrderNo"},
+		[2]string{"PO/OrderNo", "PurchaseOrder/OrderNo"}, // duplicate
+		[2]string{"PO/PurchaseDate", "PurchaseOrder/Date"},
+	)
+	if g.Size() != 2 {
+		t.Fatalf("gold size = %d", g.Size())
+	}
+	if !g.Contains("PO/OrderNo", "PurchaseOrder/OrderNo") {
+		t.Fatal("Contains miss")
+	}
+	if g.Contains("PO/OrderNo", "PurchaseOrder/Date") {
+		t.Fatal("Contains false hit")
+	}
+	if got := len(g.List()); got != 2 {
+		t.Fatalf("List = %d", got)
+	}
+}
+
+func TestGoldValidate(t *testing.T) {
+	src := xmltree.NewTree("A", xmltree.Elem(""), xmltree.New("B", xmltree.Elem("string")))
+	tgt := xmltree.NewTree("X", xmltree.Elem(""), xmltree.New("Y", xmltree.Elem("string")))
+	ok := NewGold([2]string{"A/B", "X/Y"})
+	if err := ok.Validate(src, tgt); err != nil {
+		t.Fatalf("valid gold rejected: %v", err)
+	}
+	badSrc := NewGold([2]string{"A/Z", "X/Y"})
+	if err := badSrc.Validate(src, tgt); err == nil {
+		t.Fatal("dangling source accepted")
+	}
+	badTgt := NewGold([2]string{"A/B", "X/Z"})
+	if err := badTgt.Validate(src, tgt); err == nil {
+		t.Fatal("dangling target accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	g := NewGold(
+		[2]string{"s/a", "t/a"},
+		[2]string{"s/b", "t/b"},
+		[2]string{"s/c", "t/c"},
+		[2]string{"s/d", "t/d"},
+	)
+	pred := []Correspondence{
+		{Source: "s/a", Target: "t/a", Score: 1},   // true positive
+		{Source: "s/b", Target: "t/b", Score: 1},   // true positive
+		{Source: "s/x", Target: "t/x", Score: 0.9}, // false positive
+	}
+	e := Evaluate(pred, g)
+	if e.TruePositives != 2 || e.FalsePositives != 1 || e.Missed != 2 {
+		t.Fatalf("counts = %+v", e)
+	}
+	if math.Abs(e.Precision-2.0/3) > 1e-9 {
+		t.Fatalf("precision = %v", e.Precision)
+	}
+	if math.Abs(e.Recall-0.5) > 1e-9 {
+		t.Fatalf("recall = %v", e.Recall)
+	}
+	// Overall = 1 - (F+M)/R = 1 - 3/4 = 0.25.
+	if math.Abs(e.Overall-0.25) > 1e-9 {
+		t.Fatalf("overall = %v", e.Overall)
+	}
+	// Identity: Overall = Recall * (2 - 1/Precision).
+	want := e.Recall * (2 - 1/e.Precision)
+	if math.Abs(e.Overall-want) > 1e-9 {
+		t.Fatalf("overall identity broken: %v vs %v", e.Overall, want)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	g := NewGold([2]string{"s/a", "t/a"})
+	empty := Evaluate(nil, g)
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1 != 0 {
+		t.Fatalf("empty predictions = %+v", empty)
+	}
+	if empty.Overall != 0 { // 1 - (0+1)/1
+		t.Fatalf("empty overall = %v", empty.Overall)
+	}
+	// Duplicate predictions count once.
+	dup := Evaluate([]Correspondence{
+		{Source: "s/a", Target: "t/a"},
+		{Source: "s/a", Target: "t/a"},
+	}, g)
+	if dup.Predicted != 1 || dup.TruePositives != 1 {
+		t.Fatalf("dup handling = %+v", dup)
+	}
+	if dup.Precision != 1 || dup.Recall != 1 || dup.Overall != 1 || dup.F1 != 1 {
+		t.Fatalf("perfect = %+v", dup)
+	}
+	// All-false-positive predictions drive Overall negative.
+	neg := Evaluate([]Correspondence{
+		{Source: "s/x", Target: "t/x"},
+		{Source: "s/y", Target: "t/y"},
+	}, g)
+	if neg.Overall >= 0 {
+		t.Fatalf("overall should be negative: %v", neg.Overall)
+	}
+	// Empty gold: degenerate zeros.
+	zero := Evaluate([]Correspondence{{Source: "s/a", Target: "t/a"}}, NewGold())
+	if zero.Recall != 0 || zero.Overall != 0 {
+		t.Fatalf("empty gold = %+v", zero)
+	}
+}
+
+// Property: Overall <= Recall <= 1 and the closed-form identity holds
+// whenever precision is defined.
+func TestEvaluateProperties(t *testing.T) {
+	prop := func(tp, fp, miss uint8) bool {
+		nTP, nFP, nM := int(tp%6), int(fp%6), int(miss%6)
+		var goldPairs [][2]string
+		var pred []Correspondence
+		for i := 0; i < nTP; i++ {
+			p := [2]string{pathN("g", i), pathN("h", i)}
+			goldPairs = append(goldPairs, p)
+			pred = append(pred, Correspondence{Source: p[0], Target: p[1]})
+		}
+		for i := 0; i < nM; i++ {
+			goldPairs = append(goldPairs, [2]string{pathN("m", i), pathN("n", i)})
+		}
+		for i := 0; i < nFP; i++ {
+			pred = append(pred, Correspondence{Source: pathN("f", i), Target: pathN("q", i)})
+		}
+		g := NewGold(goldPairs...)
+		e := Evaluate(pred, g)
+		if e.Recall > 1 || e.Overall > e.Recall+1e-9 {
+			return false
+		}
+		if e.Predicted > 0 && e.Real > 0 && e.Precision > 0 {
+			want := e.Recall * (2 - 1/e.Precision)
+			if math.Abs(e.Overall-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pathN(prefix string, i int) string {
+	return prefix + "/" + string(rune('a'+i))
+}
+
+func TestFormatCorrespondences(t *testing.T) {
+	cs := []Correspondence{
+		{Source: "b", Target: "y", Score: 0.7},
+		{Source: "a", Target: "x", Score: 0.9},
+	}
+	out := FormatCorrespondences(cs)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "a -> x") {
+		t.Fatalf("format = %q", out)
+	}
+}
+
+func TestCorrespondenceString(t *testing.T) {
+	c := Correspondence{Source: "a/b", Target: "x/y", Score: 0.875}
+	if got := c.String(); got != "a/b -> x/y (0.88)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEvaluationString(t *testing.T) {
+	e := Evaluate([]Correspondence{{Source: "s/a", Target: "t/a"}},
+		NewGold([2]string{"s/a", "t/a"}))
+	s := e.String()
+	if !strings.Contains(s, "P=1.00") || !strings.Contains(s, "Overall=1.00") {
+		t.Fatalf("String = %q", s)
+	}
+}

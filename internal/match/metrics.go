@@ -1,0 +1,65 @@
+package match
+
+import "fmt"
+
+// Evaluation holds the match-quality measures of paper §5.1 for one match
+// task: given real matches R (gold), predicted matches P, true positives
+// I = P ∩ R, false positives F = P \ I and missed matches M = R \ I,
+//
+//	Precision = |I| / |P|
+//	Recall    = |I| / |R|
+//	Overall   = 1 − (|F| + |M|) / |R| = Recall · (2 − 1/Precision)
+//
+// Overall can be negative when false positives outnumber true positives —
+// the paper's "post-match effort" interpretation.
+type Evaluation struct {
+	TruePositives  int // |I|
+	FalsePositives int // |F|
+	Missed         int // |M|
+	Predicted      int // |P|
+	Real           int // |R|
+
+	Precision float64
+	Recall    float64
+	Overall   float64
+	F1        float64
+}
+
+// Evaluate scores a predicted correspondence set against the gold standard.
+// Empty predictions yield zero precision/recall; an empty gold standard
+// yields a degenerate evaluation with all measures zero.
+func Evaluate(predicted []Correspondence, gold *Gold) Evaluation {
+	e := Evaluation{Predicted: len(predicted), Real: gold.Size()}
+	seen := map[string]bool{}
+	for _, p := range predicted {
+		if seen[p.key()] {
+			e.Predicted-- // duplicate prediction counts once
+			continue
+		}
+		seen[p.key()] = true
+		if gold.Contains(p.Source, p.Target) {
+			e.TruePositives++
+		} else {
+			e.FalsePositives++
+		}
+	}
+	e.Missed = e.Real - e.TruePositives
+	if e.Predicted > 0 {
+		e.Precision = float64(e.TruePositives) / float64(e.Predicted)
+	}
+	if e.Real > 0 {
+		e.Recall = float64(e.TruePositives) / float64(e.Real)
+		e.Overall = 1 - float64(e.FalsePositives+e.Missed)/float64(e.Real)
+	}
+	if e.Precision+e.Recall > 0 {
+		e.F1 = 2 * e.Precision * e.Recall / (e.Precision + e.Recall)
+	}
+	return e
+}
+
+// String renders "P=0.90 R=0.80 Overall=0.71 F1=0.85 (I=8 F=1 M=2)".
+func (e Evaluation) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f Overall=%.2f F1=%.2f (I=%d F=%d M=%d)",
+		e.Precision, e.Recall, e.Overall, e.F1,
+		e.TruePositives, e.FalsePositives, e.Missed)
+}

@@ -1,0 +1,182 @@
+package match
+
+import (
+	"math"
+	"sort"
+
+	"qmatch/internal/xmltree"
+)
+
+// SelectOptimal derives the one-to-one correspondence set that maximizes
+// the total score over pairs at or above the threshold, using the
+// Kuhn-Munkres (Hungarian) algorithm — the globally optimal counterpart of
+// the greedy Select. Greedy selection can lock a source onto its best
+// target even when swapping assignments would raise the total; the
+// ablation benchmarks quantify how often that matters in practice.
+//
+// Complexity is O(n²·m) for n sources and m targets (n ≤ m after
+// transposition), so it stays practical up to the corpus' largest task.
+func SelectOptimal(pairs []ScoredPair, threshold float64) []Correspondence {
+	// Collect the node universes and the admissible score table.
+	srcIdx := map[*xmltree.Node]int{}
+	tgtIdx := map[*xmltree.Node]int{}
+	var srcs, tgts []*xmltree.Node
+	type key struct{ s, t int }
+	score := map[key]float64{}
+	for _, p := range pairs {
+		if p.Source == nil || p.Target == nil || p.Score < threshold {
+			continue
+		}
+		si, ok := srcIdx[p.Source]
+		if !ok {
+			si = len(srcs)
+			srcIdx[p.Source] = si
+			srcs = append(srcs, p.Source)
+		}
+		ti, ok := tgtIdx[p.Target]
+		if !ok {
+			ti = len(tgts)
+			tgtIdx[p.Target] = ti
+			tgts = append(tgts, p.Target)
+		}
+		k := key{si, ti}
+		if p.Score > score[k] {
+			score[k] = p.Score
+		}
+	}
+	if len(srcs) == 0 {
+		return nil
+	}
+
+	// Orient so rows ≤ columns.
+	transposed := false
+	rows, cols := len(srcs), len(tgts)
+	if rows > cols {
+		transposed = true
+		rows, cols = cols, rows
+	}
+	at := func(r, c int) float64 {
+		k := key{r, c}
+		if transposed {
+			k = key{c, r}
+		}
+		if s, ok := score[k]; ok {
+			return s
+		}
+		return math.Inf(-1) // inadmissible pair
+	}
+
+	assignment := hungarianMax(rows, cols, at)
+
+	var out []Correspondence
+	for r, c := range assignment {
+		if c < 0 {
+			continue
+		}
+		v := at(r, c)
+		if math.IsInf(v, -1) || v < threshold {
+			continue
+		}
+		si, ti := r, c
+		if transposed {
+			si, ti = c, r
+		}
+		out = append(out, Correspondence{
+			Source: srcs[si].Path(),
+			Target: tgts[ti].Path(),
+			Score:  v,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// hungarianMax solves the rectangular assignment problem maximizing the
+// total of at(r,c) over a perfect matching of the rows (rows ≤ cols),
+// using the potential-based Kuhn-Munkres formulation on costs
+// cost = -at. Inadmissible cells carry +inf cost and are filtered by the
+// caller. Returns, per row, the assigned column.
+func hungarianMax(rows, cols int, at func(r, c int) float64) []int {
+	const inf = math.MaxFloat64
+	cost := func(r, c int) float64 {
+		v := at(r, c)
+		if math.IsInf(v, -1) {
+			// Large-but-finite cost keeps the matching total ordered:
+			// inadmissible assignments are taken only when unavoidable.
+			return 1e9
+		}
+		return -v
+	}
+
+	// 1-indexed potentials per the classic formulation.
+	u := make([]float64, rows+1)
+	v := make([]float64, cols+1)
+	p := make([]int, cols+1)   // p[j]: row assigned to column j
+	way := make([]int, cols+1) // way[j]: previous column on the alternating path
+
+	for i := 1; i <= rows; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, cols+1)
+		used := make([]bool, cols+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= cols; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= cols; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assignment := make([]int, rows)
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	for j := 1; j <= cols; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	return assignment
+}

@@ -1,0 +1,139 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qmatch/internal/xmltree"
+)
+
+func total(cs []Correspondence) float64 {
+	t := 0.0
+	for _, c := range cs {
+		t += c.Score
+	}
+	return t
+}
+
+// The classic case where greedy is suboptimal: the best single pair locks
+// out a better total.
+func TestSelectOptimalBeatsGreedy(t *testing.T) {
+	s := nodes("s1", "s2")
+	tt := nodes("t1", "t2")
+	pairs := []ScoredPair{
+		{s[0], tt[0], 0.90},
+		{s[0], tt[1], 0.80},
+		{s[1], tt[0], 0.85},
+		{s[1], tt[1], 0.10},
+	}
+	greedy := Select(pairs, 0.5)
+	optimal := SelectOptimal(pairs, 0.5)
+	if got := total(greedy); math.Abs(got-0.90) > 1e-9 {
+		// greedy: s1→t1 (0.9), then s2→t2 below threshold → only 1 pair
+		t.Fatalf("greedy total = %v", got)
+	}
+	if got := total(optimal); math.Abs(got-1.65) > 1e-9 {
+		t.Fatalf("optimal total = %v (%v)", got, optimal)
+	}
+	if len(optimal) != 2 {
+		t.Fatalf("optimal pairs = %v", optimal)
+	}
+}
+
+func TestSelectOptimalRespectsThreshold(t *testing.T) {
+	s := nodes("a")
+	tt := nodes("x")
+	if got := SelectOptimal([]ScoredPair{{s[0], tt[0], 0.4}}, 0.5); len(got) != 0 {
+		t.Fatalf("below-threshold selected: %v", got)
+	}
+	if got := SelectOptimal(nil, 0.5); got != nil {
+		t.Fatalf("empty input: %v", got)
+	}
+	if got := SelectOptimal([]ScoredPair{{nil, tt[0], 0.9}}, 0.5); len(got) != 0 {
+		t.Fatalf("nil endpoint selected: %v", got)
+	}
+}
+
+func TestSelectOptimalInjective(t *testing.T) {
+	s := nodes("s1", "s2", "s3")
+	tt := nodes("t1", "t2")
+	var pairs []ScoredPair
+	for _, a := range s {
+		for _, b := range tt {
+			pairs = append(pairs, ScoredPair{a, b, 0.6})
+		}
+	}
+	got := SelectOptimal(pairs, 0.5)
+	if len(got) != 2 { // bounded by min(3,2)
+		t.Fatalf("pairs = %v", got)
+	}
+	seenS, seenT := map[string]bool{}, map[string]bool{}
+	for _, c := range got {
+		if seenS[c.Source] || seenT[c.Target] {
+			t.Fatalf("not injective: %v", got)
+		}
+		seenS[c.Source], seenT[c.Target] = true, true
+	}
+}
+
+// More sources than targets exercises the transposition path.
+func TestSelectOptimalTransposed(t *testing.T) {
+	s := nodes("s1", "s2", "s3")
+	tt := nodes("t1")
+	pairs := []ScoredPair{
+		{s[0], tt[0], 0.6},
+		{s[1], tt[0], 0.9},
+		{s[2], tt[0], 0.7},
+	}
+	got := SelectOptimal(pairs, 0.5)
+	if len(got) != 1 || got[0].Source != "s2" {
+		t.Fatalf("transposed = %v", got)
+	}
+}
+
+// Property: on random instances, the optimal total is never below the
+// greedy total.
+func TestSelectOptimalDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ns := rng.Intn(6) + 1
+		nt := rng.Intn(6) + 1
+		var srcs, tgts []*xmltree.Node
+		for i := 0; i < ns; i++ {
+			srcs = append(srcs, xmltree.New(label("s", i), xmltree.Elem("string")))
+		}
+		for i := 0; i < nt; i++ {
+			tgts = append(tgts, xmltree.New(label("t", i), xmltree.Elem("string")))
+		}
+		var pairs []ScoredPair
+		for _, a := range srcs {
+			for _, b := range tgts {
+				if rng.Float64() < 0.8 {
+					pairs = append(pairs, ScoredPair{a, b, rng.Float64()})
+				}
+			}
+		}
+		g := total(Select(pairs, 0.3))
+		o := total(SelectOptimal(pairs, 0.3))
+		if o < g-1e-9 {
+			t.Fatalf("trial %d: optimal %v < greedy %v (pairs %v)", trial, o, g, pairs)
+		}
+	}
+}
+
+func label(p string, i int) string {
+	return p + string(rune('a'+i))
+}
+
+func TestSelectOptimalDuplicatePairsKeepBest(t *testing.T) {
+	s := nodes("a")
+	tt := nodes("x")
+	got := SelectOptimal([]ScoredPair{
+		{s[0], tt[0], 0.6},
+		{s[0], tt[0], 0.9},
+	}, 0.5)
+	if len(got) != 1 || got[0].Score != 0.9 {
+		t.Fatalf("dup handling = %v", got)
+	}
+}

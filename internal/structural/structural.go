@@ -1,0 +1,171 @@
+// Package structural implements the standalone structural match algorithm
+// the paper evaluates QMatch against (§5), modeled after CUPID's structure
+// matching: node pairs are scored bottom-up from datatype, occurrence,
+// node-kind and level agreement at the leaves, and from the aggregated
+// similarity of their children at inner nodes. Labels are never consulted —
+// this is the pure-structure baseline, which scores structurally identical
+// but linguistically disjoint schemas (the paper's Library/Human example,
+// Figs. 7–9) near 1 where the linguistic matcher scores near 0.
+package structural
+
+import (
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// Matcher is the structure-only baseline.
+type Matcher struct {
+	// ChildThreshold is the minimum similarity for a child pair to count
+	// toward an inner node's children aggregation. Default 0.5.
+	ChildThreshold float64
+	// SelectionThreshold is the minimum similarity for a pair to be
+	// reported as a correspondence. Default 0.75.
+	SelectionThreshold float64
+	// Weights within a leaf comparison.
+	TypeWeight, OccursWeight, KindWeight, LevelWeight float64
+	// Weights within an inner-node comparison.
+	ChildrenWeight, InnerLevelWeight, InnerPropsWeight float64
+}
+
+// New returns a structural matcher with the default tuning.
+func New() *Matcher {
+	return &Matcher{
+		ChildThreshold:     0.5,
+		SelectionThreshold: 0.75,
+		TypeWeight:         0.4,
+		OccursWeight:       0.2,
+		KindWeight:         0.2,
+		LevelWeight:        0.2,
+		ChildrenWeight:     0.7,
+		InnerLevelWeight:   0.1,
+		InnerPropsWeight:   0.2,
+	}
+}
+
+// Name implements match.Algorithm.
+func (m *Matcher) Name() string { return "structural" }
+
+type pairKey struct{ s, t *xmltree.Node }
+
+type table struct {
+	sims map[pairKey]float64
+}
+
+// Pairs returns the full structural-similarity table between the two
+// schemas in deterministic pre-order.
+func (m *Matcher) Pairs(src, tgt *xmltree.Node) []match.ScoredPair {
+	tb := &table{sims: map[pairKey]float64{}}
+	srcs, tgts := src.Nodes(), tgt.Nodes()
+	out := make([]match.ScoredPair, 0, len(srcs)*len(tgts))
+	for _, s := range srcs {
+		for _, t := range tgts {
+			out = append(out, match.ScoredPair{
+				Source: s,
+				Target: t,
+				Score:  m.sim(tb, s, t),
+			})
+		}
+	}
+	return out
+}
+
+// Match implements match.Algorithm.
+func (m *Matcher) Match(src, tgt *xmltree.Node) []match.Correspondence {
+	return match.Select(m.Pairs(src, tgt), m.SelectionThreshold)
+}
+
+// TreeScore implements match.Algorithm: the structural similarity of the
+// two roots.
+func (m *Matcher) TreeScore(src, tgt *xmltree.Node) float64 {
+	tb := &table{sims: map[pairKey]float64{}}
+	return m.sim(tb, src, tgt)
+}
+
+// sim computes (memoized) the structural similarity of a node pair.
+func (m *Matcher) sim(tb *table, s, t *xmltree.Node) float64 {
+	key := pairKey{s, t}
+	if v, ok := tb.sims[key]; ok {
+		return v
+	}
+	tb.sims[key] = 0 // cycle guard for malformed input
+
+	var v float64
+	if s.IsLeaf() && t.IsLeaf() {
+		v = m.TypeWeight*typeSim(s.Props.Type, t.Props.Type) +
+			m.OccursWeight*occursSim(s.Props, t.Props) +
+			m.KindWeight*boolSim(s.Props.IsAttribute == t.Props.IsAttribute) +
+			m.LevelWeight*boolSim(s.Level() == t.Level())
+	} else {
+		// Children aggregation: best target candidate per source
+		// child (target children plus the target itself for depth
+		// mismatches), thresholded, yielding the same Rw/Rs shape as
+		// the hybrid's children axis.
+		sum := 0.0
+		count := 0
+		for _, cs := range s.Children {
+			best := 0.0
+			for _, ct := range t.Children {
+				if cv := m.sim(tb, cs, ct); cv > best {
+					best = cv
+				}
+			}
+			if !cs.IsLeaf() {
+				if cv := m.sim(tb, cs, t); cv > best {
+					best = cv
+				}
+			}
+			if best >= m.ChildThreshold {
+				sum += best
+				count++
+			}
+		}
+		children := 0.0
+		if n := len(s.Children); n > 0 {
+			rw := sum / float64(n)
+			rs := float64(count) / float64(n)
+			children = (rw + rs) / 2
+		}
+		props := (typeSim(s.Props.Type, t.Props.Type) +
+			occursSim(s.Props, t.Props) +
+			boolSim(s.Props.IsAttribute == t.Props.IsAttribute)) / 3
+		v = m.ChildrenWeight*children +
+			m.InnerLevelWeight*boolSim(s.Level() == t.Level()) +
+			m.InnerPropsWeight*props
+	}
+
+	tb.sims[key] = v
+	return v
+}
+
+func typeSim(a, b string) float64 {
+	switch {
+	case xmltree.TypeEqual(a, b):
+		return 1
+	case xmltree.TypeCompatible(a, b):
+		return 0.6
+	default:
+		return 0
+	}
+}
+
+func occursSim(a, b xmltree.Properties) float64 {
+	a, b = a.Norm(), b.Norm()
+	switch {
+	case a.MinOccurs == b.MinOccurs && a.MaxOccurs == b.MaxOccurs:
+		return 1
+	case xmltree.OccursGeneralizes(a.MinOccurs, a.MaxOccurs, b.MinOccurs, b.MaxOccurs),
+		xmltree.OccursGeneralizes(b.MinOccurs, b.MaxOccurs, a.MinOccurs, a.MaxOccurs):
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+func boolSim(equal bool) float64 {
+	if equal {
+		return 1
+	}
+	return 0
+}
+
+var _ match.Algorithm = (*Matcher)(nil)

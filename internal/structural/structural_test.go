@@ -1,0 +1,138 @@
+package structural
+
+import (
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/xmltree"
+)
+
+func TestName(t *testing.T) {
+	if New().Name() != "structural" {
+		t.Fatal("name")
+	}
+}
+
+func TestTreeScoreIdenticalStructure(t *testing.T) {
+	m := New()
+	// Library vs Human: disjoint labels, identical structure → near 1.
+	p := dataset.LibraryHumanPair()
+	if got := m.TreeScore(p.Source, p.Target); got <= 0.9 {
+		t.Fatalf("identical-structure score = %v, want > 0.9", got)
+	}
+	// Self-match is exactly 1 for leaf-typed trees.
+	po := dataset.PO1()
+	if got := m.TreeScore(po, dataset.PO1()); got <= 0.99 {
+		t.Fatalf("self score = %v", got)
+	}
+}
+
+func TestTreeScoreDifferentStructure(t *testing.T) {
+	m := New()
+	// A 231-element depth-6 tree vs a 6-element depth-2 tree must score
+	// strictly below a structurally identical pair; the baseline is
+	// deliberately generous (its Figure 5 precision is poor), so only
+	// the relative ordering is asserted.
+	disparate := m.TreeScore(dataset.PIR(), dataset.Book())
+	identical := m.TreeScore(dataset.Library(), dataset.Human())
+	if disparate >= identical {
+		t.Fatalf("disparate score %v not below identical-structure score %v",
+			disparate, identical)
+	}
+}
+
+func TestLeafSimilarityComponents(t *testing.T) {
+	m := New()
+	a := xmltree.NewTree("R1", xmltree.Elem(""), xmltree.New("a", xmltree.Elem("integer")))
+	b := xmltree.NewTree("R2", xmltree.Elem(""), xmltree.New("b", xmltree.Elem("integer")))
+	c := xmltree.NewTree("R3", xmltree.Elem(""), xmltree.New("c", xmltree.Elem("string")))
+	same := m.sim(&table{sims: map[pairKey]float64{}}, a.Children[0], b.Children[0])
+	diff := m.sim(&table{sims: map[pairKey]float64{}}, a.Children[0], c.Children[0])
+	if same <= diff {
+		t.Fatalf("same-type sim %v should exceed different-type sim %v", same, diff)
+	}
+	if same != 1 {
+		t.Fatalf("fully agreeing leaves = %v, want 1", same)
+	}
+}
+
+func TestLabelsIgnored(t *testing.T) {
+	m := New()
+	a := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("OrderNo", xmltree.Elem("integer")))
+	b := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("OrderNo", xmltree.Elem("integer")))
+	c := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("Zzz", xmltree.Elem("integer")))
+	sb := m.TreeScore(a, b)
+	sc := m.TreeScore(a, c)
+	if sb != sc {
+		t.Fatalf("labels leaked into structural similarity: %v vs %v", sb, sc)
+	}
+}
+
+func TestMatchOneToOne(t *testing.T) {
+	p := dataset.POPair()
+	cs := New().Match(p.Source, p.Target)
+	seenS, seenT := map[string]bool{}, map[string]bool{}
+	for _, c := range cs {
+		if seenS[c.Source] || seenT[c.Target] {
+			t.Fatalf("not 1:1: %v", c)
+		}
+		seenS[c.Source], seenT[c.Target] = true, true
+		if c.Score < New().SelectionThreshold {
+			t.Fatalf("below-threshold correspondence: %v", c)
+		}
+	}
+}
+
+func TestPairsBounds(t *testing.T) {
+	p := dataset.BookPair()
+	pairs := New().Pairs(p.Source, p.Target)
+	if len(pairs) != p.Source.Size()*p.Target.Size() {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for _, sp := range pairs {
+		if sp.Score < 0 || sp.Score > 1+1e-9 {
+			t.Fatalf("score out of range: %v", sp.Score)
+		}
+	}
+}
+
+func TestOccursSim(t *testing.T) {
+	eq := occursSim(xmltree.Elem("s"), xmltree.Elem("s"))
+	gen := occursSim(xmltree.Elem("s").Optional(), xmltree.Elem("s"))
+	dis := occursSim(
+		xmltree.Properties{MinOccurs: 2, MaxOccurs: 2},
+		xmltree.Properties{MinOccurs: 0, MaxOccurs: 1})
+	if eq != 1 || gen != 0.5 || dis != 0 {
+		t.Fatalf("occursSim = %v/%v/%v", eq, gen, dis)
+	}
+}
+
+func TestTypeSim(t *testing.T) {
+	if typeSim("int", "int") != 1 {
+		t.Fatal("equal types")
+	}
+	if typeSim("int", "decimal") != 0.6 {
+		t.Fatal("compatible types")
+	}
+	if typeSim("int", "string") != 0 {
+		t.Fatal("incompatible types")
+	}
+}
+
+func TestDepthMismatchCandidates(t *testing.T) {
+	// A source nested one level deeper still reaches coverage through
+	// the "target itself" candidate, mirroring the hybrid's rule.
+	inner := xmltree.NewTree("Wrap", xmltree.Elem(""),
+		xmltree.NewTree("Core", xmltree.Elem(""),
+			xmltree.New("a", xmltree.Elem("string")),
+			xmltree.New("b", xmltree.Elem("integer")),
+		),
+	)
+	flat := xmltree.NewTree("Flat", xmltree.Elem(""),
+		xmltree.New("x", xmltree.Elem("string")),
+		xmltree.New("y", xmltree.Elem("integer")),
+	)
+	if got := New().TreeScore(inner, flat); got <= 0.3 {
+		t.Fatalf("nested-vs-flat score = %v, want > 0.3", got)
+	}
+}

@@ -1,0 +1,100 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/instances"
+	"qmatch/internal/validate"
+	"qmatch/internal/xmltree"
+)
+
+func TestGenerateDocumentsValidate(t *testing.T) {
+	// Generated documents must validate against their schema — the
+	// cross-module consistency check between generator and validator.
+	for _, schema := range []*xmltree.Node{
+		dataset.PO1(),
+		dataset.Book(),
+		Generate(Config{Seed: 4, Elements: 50, MaxDepth: 4, MaxChildren: 6, AttributeRatio: 0.2}),
+	} {
+		docs := GenerateDocuments(schema, 5, 11)
+		if len(docs) != 5 {
+			t.Fatalf("docs = %d", len(docs))
+		}
+		for i, d := range docs {
+			vs, err := validate.AgainstString(schema, d)
+			if err != nil {
+				t.Fatalf("%s doc %d unparseable: %v\n%s", schema.Label, i, err, d)
+			}
+			if len(vs) != 0 {
+				t.Fatalf("%s doc %d invalid: %v\n%s", schema.Label, i, vs, d)
+			}
+		}
+	}
+}
+
+func TestGenerateDocumentsDeterministic(t *testing.T) {
+	schema := dataset.PO1()
+	a := GenerateDocuments(schema, 3, 7)
+	b := GenerateDocuments(schema, 3, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	c := GenerateDocuments(schema, 3, 8)
+	if a[0] == c[0] {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestGenerateDocumentsTypedValues(t *testing.T) {
+	schema := dataset.PO1()
+	docs := GenerateDocuments(schema, 4, 3)
+	joined := strings.Join(docs, "")
+	if !strings.Contains(joined, "<OrderNo>") {
+		t.Fatalf("docs missing OrderNo:\n%s", docs[0])
+	}
+	// Date fields look like dates.
+	if !strings.Contains(joined, "<PurchaseDate>20") {
+		t.Fatalf("date values wrong:\n%s", docs[0])
+	}
+}
+
+// Documents of a schema and of its renamed variant must yield correlated
+// instance profiles for corresponding fields — the property the
+// instance-evidence experiments rely on.
+func TestVariantDocumentsCorrelate(t *testing.T) {
+	src := Generate(Config{Seed: 21, Elements: 30, MaxDepth: 3, MaxChildren: 6})
+	variant, gold := Derive(src, MutationConfig{Seed: 23, RenameProb: 1}) // rename everything
+	srcDocs := GenerateDocuments(src, 6, 31)
+	varDocs := GenerateDocuments(variant, 6, 37)
+
+	sp, err := instances.CollectStrings(src, srcDocs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := instances.CollectStrings(variant, varDocs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For gold leaf pairs present in both profiles, similarity must be
+	// high on average.
+	total, n := 0.0, 0
+	for _, g := range gold.List() {
+		a, okA := sp[g.Source]
+		b, okB := tp[g.Target]
+		if !okA || !okB {
+			continue
+		}
+		total += instances.Similarity(a, b)
+		n++
+	}
+	if n < 5 {
+		t.Fatalf("too few comparable leaf pairs: %d", n)
+	}
+	if avg := total / float64(n); avg < 0.8 {
+		t.Fatalf("gold-pair instance similarity = %.2f, want high", avg)
+	}
+}

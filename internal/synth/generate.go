@@ -1,0 +1,196 @@
+// Package synth generates synthetic XML schemas and derives matched
+// variants from them with a known gold standard. It backs the schemagen
+// CLI, the scalability benchmarks (extending the paper's Figure 4 beyond
+// its four workload sizes) and the robustness experiments (match accuracy
+// as a function of schema perturbation — the paper's "future work" axis of
+// tuning and stress-testing the matcher).
+//
+// All generation is deterministic in the seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qmatch/internal/xmltree"
+)
+
+// Config controls schema generation.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal schemas.
+	Seed int64
+	// Elements is the target number of nodes (including the root).
+	// Minimum 1.
+	Elements int
+	// MaxDepth bounds the tree depth (root = depth 0). Minimum 1.
+	MaxDepth int
+	// MaxChildren bounds the fan-out of any node. Minimum 2.
+	MaxChildren int
+	// AttributeRatio is the fraction of leaves generated as attributes
+	// (clamped to [0, 0.5]).
+	AttributeRatio float64
+}
+
+// Norm returns cfg with out-of-range values clamped to usable defaults.
+func (cfg Config) Norm() Config {
+	if cfg.Elements < 1 {
+		cfg.Elements = 20
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 4
+	}
+	if cfg.MaxChildren < 2 {
+		cfg.MaxChildren = 8
+	}
+	if cfg.AttributeRatio < 0 {
+		cfg.AttributeRatio = 0
+	}
+	if cfg.AttributeRatio > 0.5 {
+		cfg.AttributeRatio = 0.5
+	}
+	return cfg
+}
+
+// Vocabulary for generated labels: a modifier+noun grammar yields thousands
+// of distinct, realistic-looking element names.
+var (
+	synthNouns = []string{
+		"Order", "Customer", "Invoice", "Product", "Shipment", "Payment",
+		"Account", "Contract", "Employee", "Department", "Project", "Task",
+		"Report", "Document", "Message", "Event", "Session", "Ticket",
+		"Vehicle", "Location", "Warehouse", "Supplier", "Category", "Review",
+		"Price", "Discount", "Tax", "Balance", "Schedule", "Route",
+	}
+	synthModifiers = []string{
+		"", "Primary", "Secondary", "Total", "Net", "Gross", "Internal",
+		"External", "Active", "Archived", "Pending", "Default", "Custom",
+		"Local", "Remote", "Current", "Previous", "Annual", "Monthly", "Daily",
+	}
+	synthLeafTypes = []string{
+		"string", "integer", "decimal", "date", "dateTime", "boolean",
+		"anyURI", "token", "int", "double",
+	}
+)
+
+// Generate builds a deterministic random schema tree. Labels are unique
+// within the whole tree, so node paths are unambiguous.
+func Generate(cfg Config) *xmltree.Node {
+	cfg = cfg.Norm()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	used := map[string]bool{}
+	label := func() string {
+		for i := 0; ; i++ {
+			mod := synthModifiers[rng.Intn(len(synthModifiers))]
+			noun := synthNouns[rng.Intn(len(synthNouns))]
+			l := mod + noun
+			if i > 20 {
+				l = fmt.Sprintf("%s%d", l, rng.Intn(10000))
+			}
+			if !used[l] {
+				used[l] = true
+				return l
+			}
+		}
+	}
+
+	root := xmltree.New(label(), xmltree.Elem(""))
+	// interior tracks nodes eligible to receive more children.
+	interior := []*xmltree.Node{root}
+	size := 1
+	for size < cfg.Elements {
+		// Pick a non-full parent, pruning full ones from the pool. If
+		// the pool runs dry, promote any eligible node found in the
+		// tree; as a last resort let the root exceed the fan-out bound
+		// so generation always terminates.
+		var parent *xmltree.Node
+		for parent == nil {
+			if len(interior) == 0 {
+				if cand := findEligible(root, cfg); cand != nil {
+					cand.Props.Type = ""
+					interior = append(interior, cand)
+				} else {
+					parent = root
+					break
+				}
+			}
+			i := rng.Intn(len(interior))
+			p := interior[i]
+			if len(p.Children) >= cfg.MaxChildren {
+				interior = append(interior[:i], interior[i+1:]...)
+				continue
+			}
+			parent = p
+		}
+		child := newLeaf(rng, label(), cfg)
+		parent.Add(child)
+		size++
+		// A child strictly above the depth limit may itself become an
+		// interior node.
+		if child.Level() < cfg.MaxDepth && !child.Props.IsAttribute && rng.Float64() < 0.35 {
+			child.Props.Type = ""
+			interior = append(interior, child)
+		}
+	}
+	canonicalize(root)
+	return root
+}
+
+// canonicalize orders every node's children attributes-first (the tree
+// model's convention, which the XSD renderer and parser also follow) and
+// reassigns the Order property accordingly; the root gets Order 1 like a
+// first global element declaration. This keeps generated trees stable
+// under an XSD render/parse round trip.
+func canonicalize(root *xmltree.Node) {
+	root.Props.Order = 1
+	root.Walk(func(n *xmltree.Node) bool {
+		if len(n.Children) > 1 {
+			var attrs, elems []*xmltree.Node
+			for _, c := range n.Children {
+				if c.Props.IsAttribute {
+					attrs = append(attrs, c)
+				} else {
+					elems = append(elems, c)
+				}
+			}
+			n.Children = append(attrs, elems...)
+		}
+		for i, c := range n.Children {
+			c.Props.Order = i + 1
+		}
+		return true
+	})
+}
+
+// findEligible returns a node that can still take children within the
+// configured bounds, or nil when the tree is at capacity.
+func findEligible(root *xmltree.Node, cfg Config) *xmltree.Node {
+	var hit *xmltree.Node
+	root.Walk(func(n *xmltree.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if !n.Props.IsAttribute && n.Level() < cfg.MaxDepth && len(n.Children) < cfg.MaxChildren {
+			hit = n
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+func newLeaf(rng *rand.Rand, label string, cfg Config) *xmltree.Node {
+	typ := synthLeafTypes[rng.Intn(len(synthLeafTypes))]
+	var props xmltree.Properties
+	if rng.Float64() < cfg.AttributeRatio {
+		props = xmltree.Attr(typ)
+	} else {
+		props = xmltree.Elem(typ)
+		switch rng.Intn(4) {
+		case 0:
+			props = props.Optional()
+		case 1:
+			props = props.Repeated()
+		}
+	}
+	return xmltree.New(label, props)
+}

@@ -1,0 +1,221 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"qmatch/internal/lingo"
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// MutationConfig controls how Derive perturbs a schema into a matched
+// variant. Each probability is applied independently per node.
+type MutationConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// RenameProb is the probability of rewriting a node's label into an
+	// abbreviation or acronym form (a relaxed label match).
+	RenameProb float64
+	// OpaqueRenames makes renames draw entirely unrelated labels
+	// instead of abbreviations — no linguistic matcher can recover
+	// them. Used by the instance-evidence experiments.
+	OpaqueRenames bool
+	// ReorderProb is the probability of shuffling a node's children
+	// (perturbing the order property).
+	ReorderProb float64
+	// RetypeProb is the probability of replacing a leaf's type with a
+	// compatible one (int → decimal, date → dateTime, ...).
+	RetypeProb float64
+	// DropProb is the probability of deleting a leaf from the variant
+	// (those nodes get no gold entry).
+	DropProb float64
+	// OptionalizeProb is the probability of relaxing a node's
+	// minOccurs to 0.
+	OptionalizeProb float64
+}
+
+// Uniform returns a MutationConfig applying every mutation with the same
+// intensity p (clamped to [0,1]) — the x-axis of the robustness experiment.
+func Uniform(seed int64, p float64) MutationConfig {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return MutationConfig{
+		Seed:            seed,
+		RenameProb:      p,
+		ReorderProb:     p,
+		RetypeProb:      p,
+		DropProb:        p / 2, // dropping shrinks the gold; keep it gentler
+		OptionalizeProb: p,
+	}
+}
+
+// compatibleTypes maps a type to the compatible alternatives Retype picks
+// from.
+var compatibleTypes = map[string][]string{
+	"string":   {"token", "normalizedString"},
+	"integer":  {"int", "long", "decimal"},
+	"int":      {"integer", "long"},
+	"decimal":  {"double", "float"},
+	"double":   {"decimal", "float"},
+	"date":     {"dateTime"},
+	"dateTime": {"date"},
+	"boolean":  {"boolean"},
+	"anyURI":   {"string"},
+	"token":    {"string"},
+}
+
+// Derive clones src, perturbs the clone per cfg, and returns the variant
+// together with the gold standard mapping every surviving source node to
+// its counterpart in the variant. The root is never dropped or renamed
+// beyond abbreviation, so the pair stays a meaningful match task.
+func Derive(src *xmltree.Node, cfg MutationConfig) (*xmltree.Node, *match.Gold) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	variant := src.Clone()
+
+	// Pair source nodes with their clones positionally before mutation.
+	srcNodes := src.Nodes()
+	varNodes := variant.Nodes()
+	counterpart := map[*xmltree.Node]*xmltree.Node{}
+	for i, s := range srcNodes {
+		counterpart[s] = varNodes[i]
+	}
+
+	dropped := map[*xmltree.Node]bool{}
+	for _, v := range varNodes {
+		if v.Parent() != nil && v.IsLeaf() && rng.Float64() < cfg.DropProb {
+			dropped[v] = true
+			continue
+		}
+		if rng.Float64() < cfg.RenameProb {
+			if cfg.OpaqueRenames {
+				v.Label = opaqueLabel(rng)
+			} else {
+				v.Label = abbreviate(rng, v.Label)
+			}
+		}
+		if rng.Float64() < cfg.RetypeProb && v.IsLeaf() {
+			if alts := compatibleTypes[v.Props.Type]; len(alts) > 0 {
+				v.Props.Type = alts[rng.Intn(len(alts))]
+			}
+		}
+		if rng.Float64() < cfg.OptionalizeProb {
+			v.Props.MinOccurs = 0
+		}
+		if rng.Float64() < cfg.ReorderProb && len(v.Children) > 1 {
+			shuffleChildren(rng, v)
+		}
+	}
+	for v := range dropped {
+		detach(v)
+	}
+
+	var pairs [][2]string
+	for _, s := range srcNodes {
+		v := counterpart[s]
+		if dropped[v] {
+			continue
+		}
+		pairs = append(pairs, [2]string{s.Path(), v.Path()})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	return variant, match.NewGold(pairs...)
+}
+
+// opaqueWords supply labels with no lexical relation to the generator's
+// vocabulary.
+var opaqueWords = []string{
+	"Zyx", "Quorv", "Blent", "Kraled", "Vomit", "Drusk", "Plim", "Snerg",
+	"Thwick", "Grolb", "Yintra", "Moxel", "Frandle", "Urp", "Clostrum",
+}
+
+// opaqueLabel draws a fresh label unrelated to any source vocabulary.
+func opaqueLabel(rng *rand.Rand) string {
+	return fmt.Sprintf("%s%s%d",
+		opaqueWords[rng.Intn(len(opaqueWords))],
+		opaqueWords[rng.Intn(len(opaqueWords))],
+		rng.Intn(1000))
+}
+
+// abbreviate rewrites a label into a shorter, still-recognizable form:
+// multi-token labels become their acronym or keep abbreviated tokens;
+// single tokens lose interior vowels or truncate to a prefix.
+func abbreviate(rng *rand.Rand, label string) string {
+	tokens := lingo.Tokenize(label)
+	if len(tokens) == 0 {
+		return label
+	}
+	if len(tokens) >= 2 && rng.Float64() < 0.4 {
+		return strings.ToUpper(lingo.FirstLetters(tokens))
+	}
+	out := make([]string, len(tokens))
+	for i, tok := range tokens {
+		out[i] = abbreviateToken(rng, tok)
+	}
+	// Re-title-case so the label still looks like a schema name.
+	for i, tok := range out {
+		if tok != "" {
+			out[i] = strings.ToUpper(tok[:1]) + tok[1:]
+		}
+	}
+	return strings.Join(out, "")
+}
+
+func abbreviateToken(rng *rand.Rand, tok string) string {
+	if len(tok) <= 4 {
+		return tok
+	}
+	if rng.Float64() < 0.5 {
+		// Vowel-stripped skeleton, e.g. "quantity" → "qntty".
+		var b strings.Builder
+		b.WriteByte(tok[0])
+		for i := 1; i < len(tok); i++ {
+			switch tok[i] {
+			case 'a', 'e', 'i', 'o', 'u':
+			default:
+				b.WriteByte(tok[i])
+			}
+		}
+		if s := b.String(); len(s) >= 2 {
+			return s
+		}
+		return tok
+	}
+	// Prefix truncation, e.g. "description" → "desc".
+	n := 3 + rng.Intn(2)
+	if n >= len(tok) {
+		return tok
+	}
+	return tok[:n]
+}
+
+func shuffleChildren(rng *rand.Rand, n *xmltree.Node) {
+	rng.Shuffle(len(n.Children), func(i, j int) {
+		n.Children[i], n.Children[j] = n.Children[j], n.Children[i]
+	})
+	for i, c := range n.Children {
+		c.Props.Order = i + 1
+	}
+	// Order changed; cached paths are unaffected (labels unchanged) but
+	// keep the invariant that Children order defines document order.
+}
+
+// detach removes a node from its parent's child list.
+func detach(n *xmltree.Node) {
+	p := n.Parent()
+	if p == nil {
+		return
+	}
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qmatch/internal/xmltree"
+	"qmatch/internal/xsd"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Elements: 60, MaxDepth: 4, MaxChildren: 6}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !xmltree.Equal(a, b) {
+		t.Fatal("same seed produced different trees")
+	}
+	c := Generate(Config{Seed: 43, Elements: 60, MaxDepth: 4, MaxChildren: 6})
+	if xmltree.Equal(a, c) {
+		t.Fatal("different seeds produced identical trees")
+	}
+}
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	for _, n := range []int{1, 5, 50, 400} {
+		cfg := Config{Seed: 7, Elements: n, MaxDepth: 5, MaxChildren: 10}
+		tree := Generate(cfg)
+		if got := tree.Size(); got != n {
+			t.Errorf("size = %d, want %d", got, n)
+		}
+		if got := tree.MaxDepth(); got > 5 {
+			t.Errorf("depth = %d exceeds limit", got)
+		}
+		tree.Walk(func(node *xmltree.Node) bool {
+			if len(node.Children) > 10 {
+				t.Errorf("fan-out %d exceeds limit at %s", len(node.Children), node.Path())
+			}
+			return true
+		})
+	}
+}
+
+func TestGenerateUniqueLabels(t *testing.T) {
+	tree := Generate(Config{Seed: 9, Elements: 500, MaxDepth: 6, MaxChildren: 8})
+	seen := map[string]bool{}
+	tree.Walk(func(n *xmltree.Node) bool {
+		if seen[n.Label] {
+			t.Fatalf("duplicate label %q", n.Label)
+		}
+		seen[n.Label] = true
+		return true
+	})
+}
+
+func TestGenerateNormDefaults(t *testing.T) {
+	tree := Generate(Config{}) // all defaults
+	if tree.Size() != 20 {
+		t.Fatalf("default size = %d", tree.Size())
+	}
+	n := Config{AttributeRatio: 2}.Norm()
+	if n.AttributeRatio != 0.5 {
+		t.Fatalf("ratio clamp = %v", n.AttributeRatio)
+	}
+	if got := (Config{AttributeRatio: -1}).Norm().AttributeRatio; got != 0 {
+		t.Fatalf("negative ratio clamp = %v", got)
+	}
+}
+
+func TestGenerateAttributes(t *testing.T) {
+	tree := Generate(Config{Seed: 5, Elements: 200, MaxDepth: 4, MaxChildren: 8, AttributeRatio: 0.4})
+	attrs := 0
+	tree.Walk(func(n *xmltree.Node) bool {
+		if n.Props.IsAttribute {
+			attrs++
+			if !n.IsLeaf() {
+				t.Fatalf("attribute %s has children", n.Path())
+			}
+		}
+		return true
+	})
+	if attrs == 0 {
+		t.Fatal("no attributes generated")
+	}
+}
+
+// Round-trip property: generated schemas survive Render → Parse intact
+// (DESIGN.md §6).
+func TestGenerateXSDRoundTrip(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		cfg := Config{Seed: seed, Elements: int(size%100) + 1, MaxDepth: 4, MaxChildren: 6, AttributeRatio: 0.2}
+		tree := Generate(cfg)
+		back, err := xsd.ParseString(xsd.Render(tree))
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		return xmltree.Equal(tree, back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveIdentityAtZero(t *testing.T) {
+	src := Generate(Config{Seed: 11, Elements: 80, MaxDepth: 4, MaxChildren: 6})
+	variant, gold := Derive(src, Uniform(1, 0))
+	if !xmltree.Equal(src, variant) {
+		t.Fatal("zero intensity changed the tree")
+	}
+	if gold.Size() != src.Size() {
+		t.Fatalf("gold size = %d, want %d", gold.Size(), src.Size())
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	src := Generate(Config{Seed: 11, Elements: 80, MaxDepth: 4, MaxChildren: 6})
+	v1, g1 := Derive(src, Uniform(3, 0.4))
+	v2, g2 := Derive(src, Uniform(3, 0.4))
+	if !xmltree.Equal(v1, v2) || g1.Size() != g2.Size() {
+		t.Fatal("Derive not deterministic")
+	}
+}
+
+func TestDeriveGoldValid(t *testing.T) {
+	src := Generate(Config{Seed: 13, Elements: 120, MaxDepth: 5, MaxChildren: 7})
+	variant, gold := Derive(src, Uniform(5, 0.5))
+	if err := gold.Validate(src, variant); err != nil {
+		t.Fatal(err)
+	}
+	if gold.Size() == 0 {
+		t.Fatal("empty gold")
+	}
+	// Drops shrink the variant and the gold together.
+	if variant.Size() > src.Size() {
+		t.Fatal("variant grew")
+	}
+	if gold.Size() > variant.Size() {
+		t.Fatalf("gold (%d) exceeds variant (%d)", gold.Size(), variant.Size())
+	}
+}
+
+func TestDeriveDoesNotTouchSource(t *testing.T) {
+	src := Generate(Config{Seed: 17, Elements: 60, MaxDepth: 4, MaxChildren: 6})
+	before := src.Clone()
+	Derive(src, Uniform(19, 0.8))
+	if !xmltree.Equal(src, before) {
+		t.Fatal("Derive mutated the source")
+	}
+}
+
+func TestDeriveMutationsObservable(t *testing.T) {
+	src := Generate(Config{Seed: 23, Elements: 100, MaxDepth: 4, MaxChildren: 6})
+	variant, _ := Derive(src, Uniform(29, 0.6))
+	if xmltree.Equal(src, variant) {
+		t.Fatal("high intensity changed nothing")
+	}
+	// Some labels must differ (renames) while the roots stay related.
+	if variant.Size() == src.Size() {
+		diff := 0
+		sn, vn := src.Nodes(), variant.Nodes()
+		for i := range sn {
+			if sn[i].Label != vn[i].Label {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Fatal("no renames at 0.6 intensity")
+		}
+	}
+}
+
+func TestAbbreviateToken(t *testing.T) {
+	rng := newRng(1)
+	for _, tok := range []string{"description", "quantity", "warehouse"} {
+		got := abbreviateToken(rng, tok)
+		if got == "" || len(got) > len(tok) {
+			t.Fatalf("abbreviateToken(%q) = %q", tok, got)
+		}
+	}
+	if got := abbreviateToken(rng, "id"); got != "id" {
+		t.Fatalf("short token changed: %q", got)
+	}
+}
+
+func TestUniformClamps(t *testing.T) {
+	if Uniform(1, -0.5).RenameProb != 0 {
+		t.Fatal("negative intensity not clamped")
+	}
+	if Uniform(1, 2).RenameProb != 1 {
+		t.Fatal("overflow intensity not clamped")
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

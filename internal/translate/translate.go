@@ -1,0 +1,291 @@
+// Package translate converts XML instance documents from a source schema's
+// structure into a target schema's structure, driven by the element
+// correspondences a matcher discovered. It closes the integration loop the
+// QMatch paper motivates: match the schemas, translate the data, validate
+// the result against the target schema (cf. TranScm [13] in the paper's
+// related work, which couples matching with data translation).
+//
+// The translation is correspondence-directed: for every target schema
+// element that some source path maps to, values are pulled from the
+// matching source document nodes. Target elements without a mapped source
+// are emitted only when required (minOccurs ≥ 1) and are left empty;
+// repeated source nodes fan out into repeated target elements when the
+// target declaration allows it.
+package translate
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"qmatch/internal/match"
+	"qmatch/internal/xmltree"
+)
+
+// Translator holds a compiled mapping between two schemas.
+type Translator struct {
+	source *xmltree.Node
+	target *xmltree.Node
+	// bySource maps a source schema path to the target schema path.
+	bySource map[string]string
+	// byTarget maps a target schema path to the source schema path
+	// (first correspondence wins when several sources map to one
+	// target).
+	byTarget map[string]string
+}
+
+// New compiles a translator from the correspondences (source path →
+// target path). Correspondences whose paths do not exist in the given
+// schemas are rejected.
+func New(source, target *xmltree.Node, correspondences []match.Correspondence) (*Translator, error) {
+	t := &Translator{
+		source:   source,
+		target:   target,
+		bySource: map[string]string{},
+		byTarget: map[string]string{},
+	}
+	for _, c := range correspondences {
+		if source.Find(c.Source) == nil {
+			return nil, fmt.Errorf("translate: source path %q not in schema %s", c.Source, source.Label)
+		}
+		if target.Find(c.Target) == nil {
+			return nil, fmt.Errorf("translate: target path %q not in schema %s", c.Target, target.Label)
+		}
+		if _, dup := t.bySource[c.Source]; !dup {
+			t.bySource[c.Source] = c.Target
+		}
+		if _, dup := t.byTarget[c.Target]; !dup {
+			t.byTarget[c.Target] = c.Source
+		}
+	}
+	return t, nil
+}
+
+// docElem is a parsed instance element.
+type docElem struct {
+	name     string
+	attrs    []xml.Attr
+	children []*docElem
+	text     string
+	parent   *docElem
+}
+
+// under reports whether d is inside the subtree rooted at anc (inclusive).
+func (d *docElem) under(anc *docElem) bool {
+	for n := d; n != nil; n = n.parent {
+		if n == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// Translate reads a source-structured document and writes the
+// target-structured equivalent.
+func (t *Translator) Translate(r io.Reader, w io.Writer) error {
+	doc, err := parseDoc(r)
+	if err != nil {
+		return err
+	}
+	if doc.name != t.source.Label {
+		return fmt.Errorf("translate: document root %q does not match source schema root %q",
+			doc.name, t.source.Label)
+	}
+	// Index source document nodes by their schema path.
+	values := map[string][]*docElem{}
+	indexDoc(doc, doc.name, values)
+
+	out := t.buildTarget(t.target, values)
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	renderElem(&b, out, 0)
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// TranslateString is Translate over strings.
+func (t *Translator) TranslateString(doc string) (string, error) {
+	var b strings.Builder
+	if err := t.Translate(strings.NewReader(doc), &b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func parseDoc(r io.Reader) (*docElem, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*docElem
+	var root *docElem
+	var texts []*strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("translate: parse: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			n := &docElem{name: tk.Name.Local, attrs: tk.Attr}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("translate: multiple document roots")
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				n.parent = p
+				p.children = append(p.children, n)
+			}
+			stack = append(stack, n)
+			texts = append(texts, &strings.Builder{})
+		case xml.EndElement:
+			top := stack[len(stack)-1]
+			top.text = strings.TrimSpace(texts[len(texts)-1].String())
+			stack = stack[:len(stack)-1]
+			texts = texts[:len(texts)-1]
+		case xml.CharData:
+			if len(texts) > 0 {
+				texts[len(texts)-1].Write([]byte(tk))
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("translate: empty document")
+	}
+	return root, nil
+}
+
+// indexDoc records every document element (and attribute, as a synthetic
+// element) under its slash path.
+func indexDoc(e *docElem, path string, values map[string][]*docElem) {
+	values[path] = append(values[path], e)
+	for _, a := range e.attrs {
+		values[path+"/"+a.Name.Local] = append(values[path+"/"+a.Name.Local],
+			&docElem{name: a.Name.Local, text: a.Value, parent: e})
+	}
+	for _, c := range e.children {
+		indexDoc(c, path+"/"+c.name, values)
+	}
+}
+
+// outElem is a built target element.
+type outElem struct {
+	name     string
+	attrs    []xml.Attr
+	children []*outElem
+	text     string
+	isAttr   bool
+}
+
+// buildTarget constructs the target element for one schema node, pulling
+// values via the mapping.
+func (t *Translator) buildTarget(schema *xmltree.Node, values map[string][]*docElem) *outElem {
+	insts := t.instancesFor(schema, values)
+	var primary *docElem
+	if len(insts) > 0 {
+		primary = insts[0]
+	}
+	return t.buildOne(schema, primary, values)
+}
+
+// instancesFor returns the source document nodes mapped to a target schema
+// node, if any.
+func (t *Translator) instancesFor(schema *xmltree.Node, values map[string][]*docElem) []*docElem {
+	srcPath, ok := t.byTarget[schema.Path()]
+	if !ok {
+		return nil
+	}
+	return values[srcPath]
+}
+
+func (t *Translator) buildOne(schema *xmltree.Node, inst *docElem, values map[string][]*docElem) *outElem {
+	out := &outElem{name: schema.Label, isAttr: schema.Props.IsAttribute}
+	if schema.IsLeaf() {
+		if inst != nil {
+			out.text = inst.text
+		}
+		return out
+	}
+	for _, child := range schema.Children {
+		srcPath, mapped := t.byTarget[child.Path()]
+		var insts []*docElem
+		if mapped {
+			insts = values[srcPath]
+			// Scope to the current source instance: when this target
+			// element was built from a specific (possibly repeated)
+			// source node, its children must come from that node's
+			// subtree only.
+			if inst != nil {
+				scoped := insts[:0:0]
+				for _, d := range insts {
+					if d.under(inst) {
+						scoped = append(scoped, d)
+					}
+				}
+				if len(scoped) > 0 {
+					insts = scoped
+				}
+			}
+		}
+		p := child.Props.Norm()
+		switch {
+		case len(insts) == 0:
+			// Unmapped or absent: emit only if required.
+			if p.MinOccurs >= 1 {
+				out.add(t.buildOne(child, nil, values))
+			}
+		case p.MaxOccurs == xmltree.Unbounded:
+			for _, i := range insts {
+				out.add(t.buildOne(child, i, values))
+			}
+		default:
+			out.add(t.buildOne(child, insts[0], values))
+		}
+	}
+	// Stable output: attributes first (matching the schema convention).
+	sort.SliceStable(out.children, func(i, j int) bool {
+		return out.children[i].isAttr && !out.children[j].isAttr
+	})
+	return out
+}
+
+func (o *outElem) add(c *outElem) {
+	if c.isAttr {
+		o.attrs = append(o.attrs, xml.Attr{Name: xml.Name{Local: c.name}, Value: c.text})
+		return
+	}
+	o.children = append(o.children, c)
+}
+
+func renderElem(b *strings.Builder, e *outElem, depth int) {
+	ind := strings.Repeat("  ", depth)
+	b.WriteString(ind + "<" + e.name)
+	for _, a := range e.attrs {
+		b.WriteString(" " + a.Name.Local + `="` + escapeXML(a.Value) + `"`)
+	}
+	if len(e.children) == 0 {
+		if e.text == "" {
+			b.WriteString("/>\n")
+			return
+		}
+		b.WriteString(">" + escapeXML(e.text) + "</" + e.name + ">\n")
+		return
+	}
+	b.WriteString(">\n")
+	if e.text != "" {
+		b.WriteString(ind + "  " + escapeXML(e.text) + "\n")
+	}
+	for _, c := range e.children {
+		renderElem(b, c, depth+1)
+	}
+	b.WriteString(ind + "</" + e.name + ">\n")
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,218 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/core"
+	"qmatch/internal/dataset"
+	"qmatch/internal/match"
+	"qmatch/internal/validate"
+	"qmatch/internal/xmltree"
+)
+
+const poDoc = `<PO>
+  <OrderNo>12345</OrderNo>
+  <PurchaseInfo>
+    <BillingAddr>1 Main St</BillingAddr>
+    <ShippingAddr>2 Side Ave</ShippingAddr>
+    <Lines>
+      <Item>Widget</Item>
+      <Quantity>3</Quantity>
+      <UnitOfMeasure>kg</UnitOfMeasure>
+    </Lines>
+  </PurchaseInfo>
+  <PurchaseDate>2005-04-05</PurchaseDate>
+</PO>`
+
+// endToEnd matches PO1 against PO2 with the hybrid and translates a PO
+// document into the Purchase Order structure — the full integration
+// pipeline the paper motivates.
+func endToEnd(t *testing.T) string {
+	t.Helper()
+	src, tgt := dataset.PO1(), dataset.PO2()
+	cs := core.NewHybrid(nil).Match(src, tgt)
+	tr, err := New(src, tgt, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.TranslateString(poDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestTranslatePODocument(t *testing.T) {
+	out := endToEnd(t)
+	for _, want := range []string{
+		"<PurchaseOrder>",
+		"<OrderNo>12345</OrderNo>",
+		"<BillTo>1 Main St</BillTo>",
+		"<ShipTo>2 Side Ave</ShipTo>",
+		"<Item#>Widget</Item#>",
+		"<Qty>3</Qty>",
+		"<UOM>kg</UOM>",
+		"<Date>2005-04-05</Date>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTranslatedDocumentValidates(t *testing.T) {
+	out := endToEnd(t)
+	// The element name "Item#" is valid in our tree model but not in
+	// XML; the validator parses real XML, so rename for the check.
+	out = strings.ReplaceAll(out, "Item#", "ItemNo")
+	tgt := dataset.PO2()
+	tgt.Find("PurchaseOrder/Items/Item#").Label = "ItemNo"
+	vs, err := validate.AgainstString(tgt, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("translated document invalid: %v\n%s", vs, out)
+	}
+}
+
+func TestTranslateRepeatedScoped(t *testing.T) {
+	// Two repeated source groups must fan out into two scoped target
+	// groups without mixing leaf values.
+	src := xmltree.NewTree("Cart", xmltree.Elem(""),
+		xmltree.NewTree("Line", xmltree.Elem("").Repeated(),
+			xmltree.New("Sku", xmltree.Elem("string")),
+			xmltree.New("Count", xmltree.Elem("integer")),
+		),
+	)
+	tgt := xmltree.NewTree("Basket", xmltree.Elem(""),
+		xmltree.NewTree("Entry", xmltree.Elem("").Repeated(),
+			xmltree.New("Product", xmltree.Elem("string")),
+			xmltree.New("Amount", xmltree.Elem("integer")),
+		),
+	)
+	tr, err := New(src, tgt, []match.Correspondence{
+		{Source: "Cart", Target: "Basket"},
+		{Source: "Cart/Line", Target: "Basket/Entry"},
+		{Source: "Cart/Line/Sku", Target: "Basket/Entry/Product"},
+		{Source: "Cart/Line/Count", Target: "Basket/Entry/Amount"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.TranslateString(`<Cart>
+	  <Line><Sku>A</Sku><Count>1</Count></Line>
+	  <Line><Sku>B</Sku><Count>2</Count></Line>
+	</Cart>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<Entry>") != 2 {
+		t.Fatalf("entries:\n%s", out)
+	}
+	// Scoping: A pairs with 1, B with 2.
+	aIdx := strings.Index(out, "<Product>A</Product>")
+	bIdx := strings.Index(out, "<Product>B</Product>")
+	one := strings.Index(out, "<Amount>1</Amount>")
+	two := strings.Index(out, "<Amount>2</Amount>")
+	if aIdx < 0 || bIdx < 0 || one < 0 || two < 0 {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	if !(aIdx < one && one < bIdx && bIdx < two) {
+		t.Fatalf("values mixed across entries:\n%s", out)
+	}
+}
+
+func TestTranslateAttributes(t *testing.T) {
+	src := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("id", xmltree.Attr("integer")),
+		xmltree.New("V", xmltree.Elem("string")),
+	)
+	tgt := xmltree.NewTree("S", xmltree.Elem(""),
+		xmltree.New("key", xmltree.Attr("integer")),
+		xmltree.New("W", xmltree.Elem("string")),
+	)
+	tr, err := New(src, tgt, []match.Correspondence{
+		{Source: "R", Target: "S"},
+		{Source: "R/id", Target: "S/key"},
+		{Source: "R/V", Target: "S/W"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.TranslateString(`<R id="7"><V>x</V></R>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `<S key="7">`) || !strings.Contains(out, "<W>x</W>") {
+		t.Fatalf("attribute translation:\n%s", out)
+	}
+}
+
+func TestTranslateUnmappedRequired(t *testing.T) {
+	src := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("A", xmltree.Elem("string")))
+	tgt := xmltree.NewTree("S", xmltree.Elem(""),
+		xmltree.New("B", xmltree.Elem("string")),            // mapped
+		xmltree.New("C", xmltree.Elem("string")),            // unmapped, required
+		xmltree.New("D", xmltree.Elem("string").Optional()), // unmapped, optional
+	)
+	tr, err := New(src, tgt, []match.Correspondence{
+		{Source: "R", Target: "S"},
+		{Source: "R/A", Target: "S/B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.TranslateString(`<R><A>x</A></R>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<B>x</B>") {
+		t.Fatalf("mapped value missing:\n%s", out)
+	}
+	if !strings.Contains(out, "<C/>") {
+		t.Fatalf("required placeholder missing:\n%s", out)
+	}
+	if strings.Contains(out, "<D") {
+		t.Fatalf("optional unmapped emitted:\n%s", out)
+	}
+}
+
+func TestTranslateEscaping(t *testing.T) {
+	src := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("A", xmltree.Elem("string")))
+	tgt := xmltree.NewTree("S", xmltree.Elem(""), xmltree.New("B", xmltree.Elem("string")))
+	tr, _ := New(src, tgt, []match.Correspondence{
+		{Source: "R", Target: "S"},
+		{Source: "R/A", Target: "S/B"},
+	})
+	out, err := tr.TranslateString(`<R><A>a &amp; b &lt; c</A></R>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<B>a &amp; b &lt; c</B>") {
+		t.Fatalf("escaping:\n%s", out)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	src := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("A", xmltree.Elem("string")))
+	tgt := xmltree.NewTree("S", xmltree.Elem(""), xmltree.New("B", xmltree.Elem("string")))
+	// Dangling correspondence paths.
+	if _, err := New(src, tgt, []match.Correspondence{{Source: "R/Z", Target: "S/B"}}); err == nil {
+		t.Fatal("dangling source accepted")
+	}
+	if _, err := New(src, tgt, []match.Correspondence{{Source: "R/A", Target: "S/Z"}}); err == nil {
+		t.Fatal("dangling target accepted")
+	}
+	tr, _ := New(src, tgt, []match.Correspondence{{Source: "R/A", Target: "S/B"}})
+	if _, err := tr.TranslateString(`<Other/>`); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+	if _, err := tr.TranslateString(`<R><broken>`); err == nil {
+		t.Fatal("malformed accepted")
+	}
+	if _, err := tr.TranslateString(``); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

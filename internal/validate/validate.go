@@ -1,0 +1,246 @@
+// Package validate checks XML instance documents against a schema tree:
+// undeclared elements and attributes, missing required content, occurrence
+// violations and datatype mismatches. It is the consumer-side complement
+// of the matcher — once two schemas are matched and data is translated,
+// the result must validate against the target schema.
+package validate
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"qmatch/internal/xmltree"
+)
+
+// Violation is one validation finding.
+type Violation struct {
+	// Path locates the offending document node ("PO/Lines/Item[2]").
+	Path string
+	// Rule names the violated constraint.
+	Rule string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders "PO/OrderNo: type: value "abc" is not a valid integer".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Path, v.Rule, v.Detail)
+}
+
+// Rule names.
+const (
+	RuleRoot       = "root"
+	RuleUndeclared = "undeclared"
+	RuleRequired   = "required"
+	RuleOccurs     = "occurs"
+	RuleType       = "type"
+	RuleFixed      = "fixed"
+)
+
+// Against validates the document read from r against the schema. It
+// returns the violations found (empty for a valid document) and an error
+// only for malformed XML.
+func Against(schema *xmltree.Node, r io.Reader) ([]Violation, error) {
+	doc, err := parse(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	if doc.name != schema.Label {
+		out = append(out, Violation{
+			Path: doc.name, Rule: RuleRoot,
+			Detail: fmt.Sprintf("document root %q does not match schema root %q", doc.name, schema.Label),
+		})
+		return out, nil
+	}
+	validateElement(schema, doc, doc.name, &out)
+	return out, nil
+}
+
+// AgainstString is Against over a string.
+func AgainstString(schema *xmltree.Node, doc string) ([]Violation, error) {
+	return Against(schema, strings.NewReader(doc))
+}
+
+type docElem struct {
+	name     string
+	attrs    []xml.Attr
+	children []*docElem
+	text     strings.Builder
+}
+
+func parse(r io.Reader) (*docElem, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*docElem
+	var root *docElem
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("validate: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &docElem{name: t.Name.Local, attrs: t.Attr}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("validate: multiple document roots")
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				p.children = append(p.children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.Write([]byte(t))
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("validate: empty document")
+	}
+	return root, nil
+}
+
+func validateElement(schema *xmltree.Node, elem *docElem, path string, out *[]Violation) {
+	// Split declared children.
+	declAttrs := map[string]*xmltree.Node{}
+	declElems := map[string]*xmltree.Node{}
+	for _, c := range schema.Children {
+		if c.Props.IsAttribute {
+			declAttrs[c.Label] = c
+		} else {
+			declElems[c.Label] = c
+		}
+	}
+
+	// Attributes.
+	seenAttrs := map[string]bool{}
+	for _, a := range elem.attrs {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		decl, ok := declAttrs[a.Name.Local]
+		if !ok {
+			*out = append(*out, Violation{
+				Path: path + "/@" + a.Name.Local, Rule: RuleUndeclared,
+				Detail: "attribute not declared in the schema",
+			})
+			continue
+		}
+		seenAttrs[a.Name.Local] = true
+		checkValue(decl, a.Value, path+"/@"+a.Name.Local, out)
+	}
+	for name, decl := range declAttrs {
+		if decl.Props.Norm().MinOccurs >= 1 && !seenAttrs[name] {
+			*out = append(*out, Violation{
+				Path: path + "/@" + name, Rule: RuleRequired,
+				Detail: "required attribute missing",
+			})
+		}
+	}
+
+	// Child elements.
+	counts := map[string]int{}
+	indices := map[string]int{}
+	for _, child := range elem.children {
+		counts[child.name]++
+	}
+	for _, child := range elem.children {
+		indices[child.name]++
+		childPath := fmt.Sprintf("%s/%s", path, child.name)
+		if counts[child.name] > 1 {
+			childPath = fmt.Sprintf("%s[%d]", childPath, indices[child.name])
+		}
+		decl, ok := declElems[child.name]
+		if !ok {
+			*out = append(*out, Violation{
+				Path: childPath, Rule: RuleUndeclared,
+				Detail: "element not declared in the schema",
+			})
+			continue
+		}
+		validateElement(decl, child, childPath, out)
+	}
+	for name, decl := range declElems {
+		p := decl.Props.Norm()
+		n := counts[name]
+		if n < p.MinOccurs {
+			*out = append(*out, Violation{
+				Path: path + "/" + name, Rule: RuleRequired,
+				Detail: fmt.Sprintf("occurs %d times, minOccurs is %d", n, p.MinOccurs),
+			})
+		}
+		if p.MaxOccurs != xmltree.Unbounded && n > p.MaxOccurs {
+			*out = append(*out, Violation{
+				Path: path + "/" + name, Rule: RuleOccurs,
+				Detail: fmt.Sprintf("occurs %d times, maxOccurs is %d", n, p.MaxOccurs),
+			})
+		}
+	}
+
+	// Leaf text content.
+	if len(declElems) == 0 && len(elem.children) == 0 {
+		checkValue(schema, strings.TrimSpace(elem.text.String()), path, out)
+	}
+}
+
+// checkValue verifies a text value against a declared type and value
+// constraints. Empty optional values pass.
+func checkValue(decl *xmltree.Node, value, path string, out *[]Violation) {
+	if decl.Props.Fixed != "" && value != decl.Props.Fixed {
+		*out = append(*out, Violation{
+			Path: path, Rule: RuleFixed,
+			Detail: fmt.Sprintf("value %q differs from fixed value %q", value, decl.Props.Fixed),
+		})
+	}
+	if value == "" {
+		return
+	}
+	if !ValueMatchesType(value, decl.Props.Type) {
+		*out = append(*out, Violation{
+			Path: path, Rule: RuleType,
+			Detail: fmt.Sprintf("value %q is not a valid %s", value, xmltree.CanonicalType(decl.Props.Type)),
+		})
+	}
+}
+
+// ValueMatchesType reports whether a lexical value is acceptable for the
+// given XSD type. Unknown and string-family types accept everything.
+func ValueMatchesType(value, typ string) bool {
+	switch xmltree.CanonicalType(typ) {
+	case "integer", "int", "long", "short", "byte",
+		"nonNegativeInteger", "positiveInteger", "nonPositiveInteger", "negativeInteger",
+		"unsignedLong", "unsignedInt", "unsignedShort", "unsignedByte":
+		_, err := strconv.ParseInt(value, 10, 64)
+		return err == nil
+	case "decimal", "double", "float":
+		_, err := strconv.ParseFloat(value, 64)
+		return err == nil
+	case "boolean":
+		return value == "true" || value == "false" || value == "0" || value == "1"
+	case "date":
+		_, err := time.Parse("2006-01-02", value)
+		return err == nil
+	case "dateTime":
+		_, err := time.Parse(time.RFC3339, value)
+		return err == nil
+	case "gYear":
+		_, err := strconv.Atoi(value)
+		return err == nil && len(value) == 4
+	case "anyURI":
+		return !strings.ContainsAny(value, " <>")
+	default:
+		return true
+	}
+}

@@ -1,0 +1,205 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/xmltree"
+)
+
+const validPO = `<PO>
+  <OrderNo>12345</OrderNo>
+  <PurchaseInfo>
+    <BillingAddr>1 Main St</BillingAddr>
+    <ShippingAddr>2 Side Ave</ShippingAddr>
+    <Lines>
+      <Item>Widget</Item>
+      <Quantity>3</Quantity>
+      <UnitOfMeasure>kg</UnitOfMeasure>
+    </Lines>
+  </PurchaseInfo>
+  <PurchaseDate>2005-04-05</PurchaseDate>
+</PO>`
+
+func TestValidDocument(t *testing.T) {
+	vs, err := AgainstString(dataset.PO1(), validPO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("violations on valid doc: %v", vs)
+	}
+}
+
+func TestWrongRoot(t *testing.T) {
+	vs, err := AgainstString(dataset.PO1(), `<Invoice/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Rule != RuleRoot {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestUndeclaredElement(t *testing.T) {
+	doc := strings.Replace(validPO, "<PurchaseDate>2005-04-05</PurchaseDate>",
+		"<PurchaseDate>2005-04-05</PurchaseDate><Rogue>x</Rogue>", 1)
+	vs, _ := AgainstString(dataset.PO1(), doc)
+	if !hasRule(vs, RuleUndeclared, "PO/Rogue") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestMissingRequiredElement(t *testing.T) {
+	doc := strings.Replace(validPO, "<OrderNo>12345</OrderNo>", "", 1)
+	vs, _ := AgainstString(dataset.PO1(), doc)
+	if !hasRule(vs, RuleRequired, "PO/OrderNo") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestTypeViolation(t *testing.T) {
+	doc := strings.Replace(validPO, "<OrderNo>12345</OrderNo>", "<OrderNo>abc</OrderNo>", 1)
+	vs, _ := AgainstString(dataset.PO1(), doc)
+	if !hasRule(vs, RuleType, "PO/OrderNo") {
+		t.Fatalf("violations = %v", vs)
+	}
+	doc = strings.Replace(validPO, "2005-04-05", "April 5th", 1)
+	vs, _ = AgainstString(dataset.PO1(), doc)
+	if !hasRule(vs, RuleType, "PO/PurchaseDate") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestOccursViolations(t *testing.T) {
+	schema := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("A", xmltree.Elem("string")),            // exactly once
+		xmltree.New("B", xmltree.Elem("string").Optional()), // 0..1
+		xmltree.New("C", xmltree.Elem("string").Repeated()), // 1..∞
+	)
+	// A twice (max 1), B twice (max 1), C absent (min 1).
+	vs, _ := AgainstString(schema, `<R><A>x</A><A>y</A><B>1</B><B>2</B></R>`)
+	if !hasRule(vs, RuleOccurs, "R/A") {
+		t.Fatalf("A occurs: %v", vs)
+	}
+	if !hasRule(vs, RuleOccurs, "R/B") {
+		t.Fatalf("B occurs: %v", vs)
+	}
+	if !hasRule(vs, RuleRequired, "R/C") {
+		t.Fatalf("C required: %v", vs)
+	}
+	// Unbounded C many times is fine.
+	vs, _ = AgainstString(schema, `<R><A>x</A><C>1</C><C>2</C><C>3</C></R>`)
+	if len(vs) != 0 {
+		t.Fatalf("unexpected: %v", vs)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	schema := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("id", xmltree.Attr("integer")),
+		xmltree.New("note", func() xmltree.Properties {
+			p := xmltree.Attr("string")
+			p.MinOccurs = 0
+			p.Use = "optional"
+			return p
+		}()),
+		xmltree.New("A", xmltree.Elem("string")),
+	)
+	// Valid.
+	vs, _ := AgainstString(schema, `<R id="7"><A>x</A></R>`)
+	if len(vs) != 0 {
+		t.Fatalf("valid attrs: %v", vs)
+	}
+	// Missing required id; undeclared attr; bad type.
+	vs, _ = AgainstString(schema, `<R bogus="1"><A>x</A></R>`)
+	if !hasRule(vs, RuleRequired, "R/@id") || !hasRule(vs, RuleUndeclared, "R/@bogus") {
+		t.Fatalf("attr violations: %v", vs)
+	}
+	vs, _ = AgainstString(schema, `<R id="seven"><A>x</A></R>`)
+	if !hasRule(vs, RuleType, "R/@id") {
+		t.Fatalf("attr type: %v", vs)
+	}
+}
+
+func TestFixedValue(t *testing.T) {
+	schema := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("V", func() xmltree.Properties {
+			p := xmltree.Elem("string")
+			p.Fixed = "constant"
+			return p
+		}()),
+	)
+	vs, _ := AgainstString(schema, `<R><V>other</V></R>`)
+	if !hasRule(vs, RuleFixed, "R/V") {
+		t.Fatalf("fixed: %v", vs)
+	}
+	vs, _ = AgainstString(schema, `<R><V>constant</V></R>`)
+	if len(vs) != 0 {
+		t.Fatalf("fixed ok: %v", vs)
+	}
+}
+
+func TestRepeatedChildPaths(t *testing.T) {
+	schema := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("C", xmltree.Elem("integer").Repeated()),
+	)
+	vs, _ := AgainstString(schema, `<R><C>1</C><C>x</C></R>`)
+	if len(vs) != 1 || vs[0].Path != "R/C[2]" {
+		t.Fatalf("indexed path: %v", vs)
+	}
+}
+
+func TestMalformedDocument(t *testing.T) {
+	if _, err := AgainstString(dataset.PO1(), `<PO><unclosed>`); err == nil {
+		t.Fatal("malformed accepted")
+	}
+	if _, err := AgainstString(dataset.PO1(), ``); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestValueMatchesType(t *testing.T) {
+	cases := []struct {
+		value, typ string
+		want       bool
+	}{
+		{"12", "xs:integer", true},
+		{"-3", "integer", true},
+		{"3.14", "integer", false},
+		{"3.14", "decimal", true},
+		{"true", "boolean", true},
+		{"yes", "boolean", false},
+		{"2005-04-05", "date", true},
+		{"2005-13-05", "date", false},
+		{"2005-04-05T10:00:00Z", "dateTime", true},
+		{"1999", "gYear", true},
+		{"99", "gYear", false},
+		{"http://example.com", "anyURI", true},
+		{"not a uri", "anyURI", false},
+		{"anything", "string", true},
+		{"anything", "UnknownType", true},
+	}
+	for _, c := range cases {
+		if got := ValueMatchesType(c.value, c.typ); got != c.want {
+			t.Errorf("ValueMatchesType(%q, %q) = %v, want %v", c.value, c.typ, got, c.want)
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Path: "PO/OrderNo", Rule: RuleType, Detail: "bad"}
+	if v.String() != "PO/OrderNo: type: bad" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func hasRule(vs []Violation, rule, path string) bool {
+	for _, v := range vs {
+		if v.Rule == rule && v.Path == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package xmltree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization of schema trees, for tooling that caches parsed
+// corpora or moves schemas between processes. The format is a direct tree
+// encoding; zero-valued properties are omitted.
+
+// jsonNode is the wire shape of a node.
+type jsonNode struct {
+	Label       string      `json:"label"`
+	Type        string      `json:"type,omitempty"`
+	Order       int         `json:"order,omitempty"`
+	MinOccurs   *int        `json:"minOccurs,omitempty"`
+	MaxOccurs   *int        `json:"maxOccurs,omitempty"`
+	IsAttribute bool        `json:"attribute,omitempty"`
+	Use         string      `json:"use,omitempty"`
+	Nillable    bool        `json:"nillable,omitempty"`
+	Fixed       string      `json:"fixed,omitempty"`
+	Default     string      `json:"default,omitempty"`
+	Children    []*jsonNode `json:"children,omitempty"`
+}
+
+func toJSONNode(n *Node) *jsonNode {
+	j := &jsonNode{
+		Label:       n.Label,
+		Type:        n.Props.Type,
+		Order:       n.Props.Order,
+		IsAttribute: n.Props.IsAttribute,
+		Use:         n.Props.Use,
+		Nillable:    n.Props.Nillable,
+		Fixed:       n.Props.Fixed,
+		Default:     n.Props.Default,
+	}
+	// Occurrence constraints are meaningful even at zero (minOccurs=0),
+	// so encode them via pointers when not the XSD default of 1.
+	if n.Props.MinOccurs != 1 {
+		v := n.Props.MinOccurs
+		j.MinOccurs = &v
+	}
+	if n.Props.MaxOccurs != 1 {
+		v := n.Props.MaxOccurs
+		j.MaxOccurs = &v
+	}
+	for _, c := range n.Children {
+		j.Children = append(j.Children, toJSONNode(c))
+	}
+	return j
+}
+
+func fromJSONNode(j *jsonNode) (*Node, error) {
+	if j.Label == "" {
+		return nil, fmt.Errorf("xmltree: json node without label")
+	}
+	props := Properties{
+		Type:        j.Type,
+		Order:       j.Order,
+		MinOccurs:   1,
+		MaxOccurs:   1,
+		IsAttribute: j.IsAttribute,
+		Use:         j.Use,
+		Nillable:    j.Nillable,
+		Fixed:       j.Fixed,
+		Default:     j.Default,
+	}
+	if j.MinOccurs != nil {
+		props.MinOccurs = *j.MinOccurs
+	}
+	if j.MaxOccurs != nil {
+		if *j.MaxOccurs < Unbounded {
+			return nil, fmt.Errorf("xmltree: node %q: invalid maxOccurs %d", j.Label, *j.MaxOccurs)
+		}
+		props.MaxOccurs = *j.MaxOccurs
+	}
+	n := New(j.Label, props)
+	for _, jc := range j.Children {
+		c, err := fromJSONNode(jc)
+		if err != nil {
+			return nil, err
+		}
+		// Preserve the serialized Order rather than Add's renumbering.
+		order := c.Props.Order
+		n.Add(c)
+		if order != 0 {
+			c.Props.Order = order
+		}
+	}
+	return n, nil
+}
+
+// WriteJSON serializes the subtree rooted at n as indented JSON.
+func WriteJSON(w io.Writer, n *Node) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSONNode(n))
+}
+
+// ReadJSON deserializes a tree written by WriteJSON.
+func ReadJSON(r io.Reader) (*Node, error) {
+	var j jsonNode
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("xmltree: json: %w", err)
+	}
+	return fromJSONNode(&j)
+}

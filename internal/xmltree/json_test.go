@@ -1,0 +1,76 @@
+package xmltree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func jsonSample() *Node {
+	attr := New("id", Attr("ID"))
+	opt := New("Note", Elem("string").Optional())
+	rep := New("Item", Elem("string").Repeated())
+	fix := New("Version", Elem("string"))
+	fix.Props.Fixed = "1.0"
+	fix.Props.Nillable = true
+	fix.Props.Default = "1.0"
+	return NewTree("Root", Elem(""), attr, opt, rep, fix)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := jsonSample()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(orig, back) {
+		t.Fatalf("round trip differs:\n--- orig ---\n%s--- back ---\n%s", orig.Dump(), back.Dump())
+	}
+}
+
+func TestJSONOmitsDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, New("X", Elem("string"))); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, absent := range []string{"minOccurs", "maxOccurs", "nillable", "fixed", "attribute"} {
+		if strings.Contains(s, absent) {
+			t.Errorf("default field %q serialized:\n%s", absent, s)
+		}
+	}
+}
+
+func TestJSONUnboundedAndZero(t *testing.T) {
+	n := NewTree("R", Elem(""),
+		New("A", Elem("string").Optional().Repeated()),
+	)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := back.Children[0]
+	if a.Props.MinOccurs != 0 || a.Props.MaxOccurs != Unbounded {
+		t.Fatalf("occurs lost: %+v", a.Props)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{`)); err == nil {
+		t.Fatal("malformed accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"children":[{}]}`)); err == nil {
+		t.Fatal("label-less node accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"label":"x","maxOccurs":-5}`)); err == nil {
+		t.Fatal("invalid maxOccurs accepted")
+	}
+}

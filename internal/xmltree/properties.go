@@ -1,0 +1,125 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unbounded is the MaxOccurs value representing maxOccurs="unbounded".
+const Unbounded = -1
+
+// Properties is the set of atomic properties of a schema node — the P axis
+// of the QMatch taxonomy. The zero value describes an untyped element that
+// occurs exactly once.
+type Properties struct {
+	// Type is the declared XSD type, e.g. "string", "integer", "date".
+	// Complex types carry the complex-type name or "" for anonymous ones.
+	Type string
+	// Order is the 1-based position of the node among its siblings.
+	Order int
+	// MinOccurs and MaxOccurs are occurrence constraints. MaxOccurs of
+	// Unbounded (-1) means maxOccurs="unbounded". The zero values are
+	// normalized to 1/1 by Norm.
+	MinOccurs int
+	MaxOccurs int
+	// IsAttribute marks XSD attributes (vs elements).
+	IsAttribute bool
+	// Use carries the attribute use facet ("required", "optional", ...).
+	Use string
+	// Nillable mirrors nillable="true".
+	Nillable bool
+	// Fixed and Default carry value constraints.
+	Fixed   string
+	Default string
+}
+
+// Norm returns p with zero occurrence constraints normalized to the XSD
+// defaults (minOccurs=1, maxOccurs=1).
+func (p Properties) Norm() Properties {
+	if p.MinOccurs == 0 && p.MaxOccurs == 0 {
+		p.MinOccurs, p.MaxOccurs = 1, 1
+	}
+	if p.MaxOccurs == 0 {
+		p.MaxOccurs = 1
+	}
+	return p
+}
+
+// Elem is shorthand for the properties of a typed element.
+func Elem(typ string) Properties {
+	return Properties{Type: typ, MinOccurs: 1, MaxOccurs: 1}
+}
+
+// Attr is shorthand for the properties of a typed required attribute.
+func Attr(typ string) Properties {
+	return Properties{Type: typ, MinOccurs: 1, MaxOccurs: 1, IsAttribute: true, Use: "required"}
+}
+
+// Optional returns a copy of p with minOccurs set to 0.
+func (p Properties) Optional() Properties {
+	p.MinOccurs = 0
+	return p
+}
+
+// Repeated returns a copy of p with maxOccurs set to unbounded.
+func (p Properties) Repeated() Properties {
+	p.MaxOccurs = Unbounded
+	return p
+}
+
+// WithOrder returns a copy of p with the given sibling order.
+func (p Properties) WithOrder(order int) Properties {
+	p.Order = order
+	return p
+}
+
+// Summary renders the non-default properties compactly, e.g.
+// "integer min=0 max=*" — used by Node.Dump.
+func (p Properties) Summary() string {
+	var parts []string
+	if p.Type != "" {
+		parts = append(parts, p.Type)
+	}
+	if p.IsAttribute {
+		parts = append(parts, "@attr")
+	}
+	q := p.Norm()
+	if q.MinOccurs != 1 {
+		parts = append(parts, fmt.Sprintf("min=%d", q.MinOccurs))
+	}
+	switch {
+	case q.MaxOccurs == Unbounded:
+		parts = append(parts, "max=*")
+	case q.MaxOccurs != 1:
+		parts = append(parts, fmt.Sprintf("max=%d", q.MaxOccurs))
+	}
+	if p.Nillable {
+		parts = append(parts, "nillable")
+	}
+	if p.Use != "" && p.Use != "optional" {
+		parts = append(parts, "use="+p.Use)
+	}
+	if p.Fixed != "" {
+		parts = append(parts, "fixed="+p.Fixed)
+	}
+	if p.Default != "" {
+		parts = append(parts, "default="+p.Default)
+	}
+	return strings.Join(parts, " ")
+}
+
+// OccursGeneralizes reports whether occurrence constraint (aMin,aMax)
+// generalizes (bMin,bMax): every instance count allowed by b is allowed by a.
+// Per the paper, minOccurs=0 is a generalization of minOccurs=1.
+func OccursGeneralizes(aMin, aMax, bMin, bMax int) bool {
+	if aMin > bMin {
+		return false
+	}
+	if aMax == Unbounded {
+		return true
+	}
+	if bMax == Unbounded {
+		return false
+	}
+	return aMax >= bMax
+}

@@ -1,0 +1,171 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormDefaults(t *testing.T) {
+	p := Properties{}.Norm()
+	if p.MinOccurs != 1 || p.MaxOccurs != 1 {
+		t.Fatalf("norm zero = %d/%d, want 1/1", p.MinOccurs, p.MaxOccurs)
+	}
+	q := Properties{MinOccurs: 0, MaxOccurs: 5}.Norm()
+	if q.MinOccurs != 0 || q.MaxOccurs != 5 {
+		t.Fatalf("norm explicit = %d/%d, want 0/5", q.MinOccurs, q.MaxOccurs)
+	}
+	r := Properties{MinOccurs: 2}.Norm()
+	if r.MaxOccurs != 1 {
+		t.Fatalf("norm maxonly = %d, want 1", r.MaxOccurs)
+	}
+}
+
+func TestShorthands(t *testing.T) {
+	e := Elem("string")
+	if e.Type != "string" || e.IsAttribute || e.MinOccurs != 1 || e.MaxOccurs != 1 {
+		t.Fatalf("Elem = %+v", e)
+	}
+	a := Attr("ID")
+	if !a.IsAttribute {
+		t.Fatalf("Attr = %+v", a)
+	}
+	o := Elem("string").Optional()
+	if o.MinOccurs != 0 {
+		t.Fatalf("Optional = %+v", o)
+	}
+	r := Elem("string").Repeated()
+	if r.MaxOccurs != Unbounded {
+		t.Fatalf("Repeated = %+v", r)
+	}
+	w := Elem("string").WithOrder(3)
+	if w.Order != 3 {
+		t.Fatalf("WithOrder = %+v", w)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	p := Elem("integer").Optional().Repeated()
+	s := p.Summary()
+	for _, want := range []string{"integer", "min=0", "max=*"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+	if got := (Properties{}).Summary(); got != "" {
+		// zero value normalizes to 1/1: nothing to show
+		t.Fatalf("zero summary = %q", got)
+	}
+	a := Attr("ID")
+	a.Use = "required"
+	a.Nillable = true
+	a.Fixed = "x"
+	a.Default = "y"
+	s = a.Summary()
+	for _, want := range []string{"@attr", "use=required", "nillable", "fixed=x", "default=y"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestOccursGeneralizes(t *testing.T) {
+	cases := []struct {
+		aMin, aMax, bMin, bMax int
+		want                   bool
+	}{
+		{0, 1, 1, 1, true},          // minOccurs=0 generalizes minOccurs=1 (paper example)
+		{1, 1, 0, 1, false},         // and not vice versa
+		{0, Unbounded, 1, 3, true},  // 0..* generalizes 1..3
+		{1, 3, 0, Unbounded, false}, // bounded cannot cover unbounded
+		{1, 1, 1, 1, true},          // equality generalizes (weakly)
+		{0, Unbounded, 0, Unbounded, true},
+		{0, 2, 0, 3, false}, // 0..2 does not cover 0..3
+		{0, 3, 0, 2, true},
+	}
+	for _, c := range cases {
+		if got := OccursGeneralizes(c.aMin, c.aMax, c.bMin, c.bMax); got != c.want {
+			t.Errorf("OccursGeneralizes(%d,%d,%d,%d) = %v, want %v",
+				c.aMin, c.aMax, c.bMin, c.bMax, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalType(t *testing.T) {
+	if got := CanonicalType("xs:integer"); got != "integer" {
+		t.Fatalf("CanonicalType = %q", got)
+	}
+	if got := CanonicalType("integer"); got != "integer" {
+		t.Fatalf("CanonicalType = %q", got)
+	}
+	if got := CanonicalType("xsd:string"); got != "string" {
+		t.Fatalf("CanonicalType = %q", got)
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !TypeEqual("xs:integer", "integer") {
+		t.Fatal("prefixed type should equal bare type")
+	}
+	if TypeEqual("string", "integer") {
+		t.Fatal("distinct types equal")
+	}
+	if !TypeEqual("", "") {
+		t.Fatal("empty types should be equal")
+	}
+}
+
+func TestTypeGeneralizes(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"decimal", "int", true},
+		{"integer", "positiveInteger", true},
+		{"int", "decimal", false},
+		{"string", "token", true},
+		{"token", "string", false},
+		{"anyType", "string", true},
+		{"anyType", "anyType", false},
+		{"string", "string", false}, // generalization is strict
+		{"", "int", false},
+		{"int", "", false},
+		{"xs:decimal", "xs:short", true},
+		{"date", "dateTime", false}, // siblings, not ancestor/descendant
+	}
+	for _, c := range cases {
+		if got := TypeGeneralizes(c.a, c.b); got != c.want {
+			t.Errorf("TypeGeneralizes(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTypeCompatible(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"int", "int", true},
+		{"int", "integer", true},   // generalization
+		{"float", "int", true},     // same numeric family
+		{"string", "int", false},   // text vs numeric
+		{"date", "dateTime", true}, // temporal family
+		{"boolean", "boolean", true},
+		{"", "", true},
+		{"", "int", false},
+		{"PurchaseOrderType", "int", false}, // unknown complex type
+	}
+	for _, c := range cases {
+		if got := TypeCompatible(c.a, c.b); got != c.want {
+			t.Errorf("TypeCompatible(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTypeFamily(t *testing.T) {
+	if got := TypeFamily("xs:unsignedByte"); got != "numeric" {
+		t.Fatalf("family = %q", got)
+	}
+	if got := TypeFamily("MyComplexType"); got != "" {
+		t.Fatalf("family of unknown = %q", got)
+	}
+}

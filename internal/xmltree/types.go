@@ -1,0 +1,130 @@
+package xmltree
+
+import "strings"
+
+// The XSD built-in datatype hierarchy (simplified to the fragment the test
+// schemas exercise). typeParent maps each type to its immediate supertype;
+// the roots are "anySimpleType" and, above everything, "anyType".
+var typeParent = map[string]string{
+	"anySimpleType":      "anyType",
+	"string":             "anySimpleType",
+	"normalizedString":   "string",
+	"token":              "normalizedString",
+	"language":           "token",
+	"Name":               "token",
+	"NCName":             "Name",
+	"ID":                 "NCName",
+	"IDREF":              "NCName",
+	"NMTOKEN":            "token",
+	"boolean":            "anySimpleType",
+	"decimal":            "anySimpleType",
+	"integer":            "decimal",
+	"nonPositiveInteger": "integer",
+	"negativeInteger":    "nonPositiveInteger",
+	"long":               "integer",
+	"int":                "long",
+	"short":              "int",
+	"byte":               "short",
+	"nonNegativeInteger": "integer",
+	"unsignedLong":       "nonNegativeInteger",
+	"unsignedInt":        "unsignedLong",
+	"unsignedShort":      "unsignedInt",
+	"unsignedByte":       "unsignedShort",
+	"positiveInteger":    "nonNegativeInteger",
+	"float":              "anySimpleType",
+	"double":             "anySimpleType",
+	"duration":           "anySimpleType",
+	"dateTime":           "anySimpleType",
+	"time":               "anySimpleType",
+	"date":               "anySimpleType",
+	"gYearMonth":         "anySimpleType",
+	"gYear":              "anySimpleType",
+	"gMonthDay":          "anySimpleType",
+	"gDay":               "anySimpleType",
+	"gMonth":             "anySimpleType",
+	"hexBinary":          "anySimpleType",
+	"base64Binary":       "anySimpleType",
+	"anyURI":             "anySimpleType",
+	"QName":              "anySimpleType",
+}
+
+// typeFamily groups datatypes that are interchangeable for relaxed matching
+// even though neither derives from the other (e.g. float vs decimal — both
+// numeric). Keyed by canonical type name.
+var typeFamily = map[string]string{
+	"decimal": "numeric", "integer": "numeric", "long": "numeric",
+	"int": "numeric", "short": "numeric", "byte": "numeric",
+	"nonNegativeInteger": "numeric", "nonPositiveInteger": "numeric",
+	"negativeInteger": "numeric", "positiveInteger": "numeric",
+	"unsignedLong": "numeric", "unsignedInt": "numeric",
+	"unsignedShort": "numeric", "unsignedByte": "numeric",
+	"float": "numeric", "double": "numeric",
+	"string": "text", "normalizedString": "text", "token": "text",
+	"language": "text", "Name": "text", "NCName": "text", "ID": "text",
+	"IDREF": "text", "NMTOKEN": "text", "anyURI": "text",
+	"date": "temporal", "dateTime": "temporal", "time": "temporal",
+	"duration": "temporal", "gYear": "temporal", "gYearMonth": "temporal",
+	"gMonthDay": "temporal", "gDay": "temporal", "gMonth": "temporal",
+	"boolean":   "boolean",
+	"hexBinary": "binary", "base64Binary": "binary",
+}
+
+// CanonicalType strips a namespace prefix ("xs:", "xsd:", ...) from an XSD
+// type name.
+func CanonicalType(t string) string {
+	if i := strings.LastIndexByte(t, ':'); i >= 0 {
+		return t[i+1:]
+	}
+	return t
+}
+
+// TypeEqual reports whether two declared types are the same after prefix
+// canonicalization. Empty types (untyped/complex anonymous) compare equal to
+// each other only.
+func TypeEqual(a, b string) bool {
+	return CanonicalType(a) == CanonicalType(b)
+}
+
+// TypeGeneralizes reports whether type a is an ancestor of type b in the XSD
+// datatype hierarchy (a generalizes b), e.g. decimal generalizes int.
+func TypeGeneralizes(a, b string) bool {
+	a, b = CanonicalType(a), CanonicalType(b)
+	if a == "" || b == "" {
+		return false
+	}
+	if a == "anyType" && b != "anyType" {
+		return true
+	}
+	for cur := b; ; {
+		p, ok := typeParent[cur]
+		if !ok {
+			return false
+		}
+		if p == a {
+			return true
+		}
+		cur = p
+	}
+}
+
+// TypeCompatible reports whether a and b are equal, related by
+// generalization in either direction, or in the same datatype family.
+// Compatible-but-unequal types constitute a relaxed property match.
+func TypeCompatible(a, b string) bool {
+	a, b = CanonicalType(a), CanonicalType(b)
+	if a == b {
+		return true
+	}
+	if TypeGeneralizes(a, b) || TypeGeneralizes(b, a) {
+		return true
+	}
+	fa, oka := typeFamily[a]
+	fb, okb := typeFamily[b]
+	return oka && okb && fa == fb
+}
+
+// TypeFamily returns the coarse family ("numeric", "text", "temporal",
+// "boolean", "binary") of a type, or "" when the type is unknown or complex.
+func TypeFamily(t string) string {
+	return typeFamily[CanonicalType(t)]
+}

@@ -1,0 +1,114 @@
+package xsd
+
+import (
+	"fmt"
+	"strings"
+
+	"qmatch/internal/xmltree"
+)
+
+// Render serializes a schema tree back to an XML Schema document with the
+// root as its single global element and anonymous inline complex types for
+// every non-leaf node. Leaf element and attribute types that are XSD
+// built-ins are emitted with the xs: prefix; other type names are emitted
+// verbatim. Render(Parse(x)) is not byte-identical to x in general (named
+// types are inlined), but Parse(Render(t)) reproduces t for trees whose
+// leaf types are built-ins — the round-trip property the generator relies
+// on (see DESIGN.md §6).
+func Render(root *xmltree.Node) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">` + "\n")
+	renderElement(&b, root, 1)
+	b.WriteString("</xs:schema>\n")
+	return b.String()
+}
+
+func renderElement(b *strings.Builder, n *xmltree.Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	b.WriteString(ind)
+	b.WriteString(`<xs:element name="` + escape(n.Label) + `"`)
+	p := n.Props.Norm()
+	if n.IsLeaf() && p.Type != "" {
+		b.WriteString(` type="` + typeName(p.Type) + `"`)
+	}
+	if p.MinOccurs != 1 {
+		fmt.Fprintf(b, ` minOccurs="%d"`, p.MinOccurs)
+	}
+	switch {
+	case p.MaxOccurs == xmltree.Unbounded:
+		b.WriteString(` maxOccurs="unbounded"`)
+	case p.MaxOccurs != 1:
+		fmt.Fprintf(b, ` maxOccurs="%d"`, p.MaxOccurs)
+	}
+	if p.Nillable {
+		b.WriteString(` nillable="true"`)
+	}
+	if p.Fixed != "" {
+		b.WriteString(` fixed="` + escape(p.Fixed) + `"`)
+	}
+	if p.Default != "" {
+		b.WriteString(` default="` + escape(p.Default) + `"`)
+	}
+	if n.IsLeaf() {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteString(">\n")
+	b.WriteString(ind + "  <xs:complexType>\n")
+	var attrs, elems []*xmltree.Node
+	for _, c := range n.Children {
+		if c.Props.IsAttribute {
+			attrs = append(attrs, c)
+		} else {
+			elems = append(elems, c)
+		}
+	}
+	if len(elems) > 0 {
+		b.WriteString(ind + "    <xs:sequence>\n")
+		for _, c := range elems {
+			renderElement(b, c, depth+3)
+		}
+		b.WriteString(ind + "    </xs:sequence>\n")
+	}
+	for _, a := range attrs {
+		renderAttr(b, a, depth+2)
+	}
+	b.WriteString(ind + "  </xs:complexType>\n")
+	b.WriteString(ind + "</xs:element>\n")
+}
+
+func renderAttr(b *strings.Builder, a *xmltree.Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	b.WriteString(ind)
+	b.WriteString(`<xs:attribute name="` + escape(a.Label) + `"`)
+	if a.Props.Type != "" {
+		b.WriteString(` type="` + typeName(a.Props.Type) + `"`)
+	}
+	if a.Props.Use != "" {
+		b.WriteString(` use="` + escape(a.Props.Use) + `"`)
+	}
+	if a.Props.Fixed != "" {
+		b.WriteString(` fixed="` + escape(a.Props.Fixed) + `"`)
+	}
+	if a.Props.Default != "" {
+		b.WriteString(` default="` + escape(a.Props.Default) + `"`)
+	}
+	b.WriteString("/>\n")
+}
+
+// typeName prefixes built-in XSD types with xs:, leaving custom names as-is.
+func typeName(t string) string {
+	c := xmltree.CanonicalType(t)
+	if xmltree.TypeFamily(c) != "" || c == "anyType" || c == "anySimpleType" {
+		return "xs:" + c
+	}
+	return t
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,196 @@
+package qmatch
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"qmatch/internal/core"
+	"qmatch/internal/cupid"
+	"qmatch/internal/lingo"
+	"qmatch/internal/linguistic"
+	"qmatch/internal/match"
+	"qmatch/internal/structural"
+)
+
+// Option configures a Match or QoM call.
+type Option func(*config)
+
+// Algorithm selects which matcher a Match call runs.
+type Algorithm string
+
+// The three algorithms of the paper's evaluation, plus the CUPID
+// TreeMatch the paper compares against in its ongoing work.
+const (
+	Hybrid     Algorithm = "hybrid"
+	Linguistic Algorithm = "linguistic"
+	Structural Algorithm = "structural"
+	Cupid      Algorithm = "cupid"
+)
+
+// Weights are the axis weights of the QoM model (label, properties, level,
+// children). The zero value selects the paper's Table 2 defaults.
+type Weights struct {
+	Label      float64
+	Properties float64
+	Level      float64
+	Children   float64
+}
+
+// Thesaurus collects custom linguistic relations to merge on top of the
+// built-in domain thesaurus (or to replace it, see WithoutBuiltinThesaurus).
+type Thesaurus struct {
+	inner *lingo.Thesaurus
+}
+
+// NewThesaurus returns an empty custom thesaurus.
+func NewThesaurus() *Thesaurus {
+	return &Thesaurus{inner: lingo.NewThesaurus()}
+}
+
+// AddSynonym records two labels as synonyms (an exact label match).
+func (t *Thesaurus) AddSynonym(a, b string) { t.inner.AddSynonym(a, b) }
+
+// AddRelated records two labels as semantically related (a relaxed match).
+func (t *Thesaurus) AddRelated(a, b string) { t.inner.AddRelated(a, b) }
+
+// AddHypernym records general as a generalization of specific (relaxed).
+func (t *Thesaurus) AddHypernym(general, specific string) {
+	t.inner.AddHypernym(general, specific)
+}
+
+// AddAcronym records short as an acronym of long (relaxed).
+func (t *Thesaurus) AddAcronym(short, long string) { t.inner.AddAcronym(short, long) }
+
+// LoadThesaurus reads relations from the tab-separated format
+//
+//	relation <TAB> term-a <TAB> term-b
+//
+// with relation one of synonym, related, acronym or hypernym; '#' lines
+// are comments. See internal/lingo.LoadThesaurus.
+func LoadThesaurus(r io.Reader) (*Thesaurus, error) {
+	inner, err := lingo.LoadThesaurus(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Thesaurus{inner: inner}, nil
+}
+
+// LoadThesaurusFile is LoadThesaurus over a file path.
+func LoadThesaurusFile(path string) (*Thesaurus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qmatch: %w", err)
+	}
+	defer f.Close()
+	return LoadThesaurus(f)
+}
+
+type config struct {
+	alg                Algorithm
+	weights            *core.AxisWeights
+	childThreshold     *float64
+	selectionThreshold *float64
+	custom             *Thesaurus
+	noBuiltin          bool
+}
+
+func newConfig() *config {
+	return &config{alg: Hybrid}
+}
+
+// WithAlgorithm selects the matcher: Hybrid (default), Linguistic or
+// Structural.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) { c.alg = a }
+}
+
+// WithWeights overrides the QoM axis weights (hybrid algorithm only).
+// Weights are normalized to sum to 1.
+func WithWeights(w Weights) Option {
+	return func(c *config) {
+		aw := core.AxisWeights{
+			Label: w.Label, Properties: w.Properties,
+			Level: w.Level, Children: w.Children,
+		}
+		c.weights = &aw
+	}
+}
+
+// WithChildThreshold overrides the Fig. 3 threshold gating which child
+// matches count toward the children axis (hybrid algorithm only).
+func WithChildThreshold(v float64) Option {
+	return func(c *config) { c.childThreshold = &v }
+}
+
+// WithSelectionThreshold overrides the minimum score for a pair to be
+// reported as a correspondence.
+func WithSelectionThreshold(v float64) Option {
+	return func(c *config) { c.selectionThreshold = &v }
+}
+
+// WithThesaurus merges custom linguistic relations on top of the built-in
+// domain thesaurus.
+func WithThesaurus(t *Thesaurus) Option {
+	return func(c *config) { c.custom = t }
+}
+
+// WithoutBuiltinThesaurus drops the built-in domain thesaurus, leaving only
+// relations added via WithThesaurus (plus string similarity and
+// abbreviation detection).
+func WithoutBuiltinThesaurus() Option {
+	return func(c *config) { c.noBuiltin = true }
+}
+
+// thesaurus resolves the effective thesaurus for this configuration.
+func (c *config) thesaurus() *lingo.Thesaurus {
+	t := lingo.NewThesaurus()
+	if !c.noBuiltin {
+		t.Merge(lingo.Default())
+	}
+	if c.custom != nil {
+		t.Merge(c.custom.inner)
+	}
+	return t
+}
+
+// hybrid builds the configured hybrid matcher.
+func (c *config) hybrid() *core.Hybrid {
+	h := core.NewHybrid(c.thesaurus())
+	if c.weights != nil {
+		h.Weights = *c.weights
+	}
+	if c.childThreshold != nil {
+		h.Threshold = *c.childThreshold
+	}
+	if c.selectionThreshold != nil {
+		h.SelectionThreshold = *c.selectionThreshold
+	}
+	return h
+}
+
+// algorithm builds the configured matcher.
+func (c *config) algorithm() match.Algorithm {
+	switch c.alg {
+	case Linguistic:
+		m := linguistic.New(c.thesaurus())
+		if c.selectionThreshold != nil {
+			m.SelectionThreshold = *c.selectionThreshold
+		}
+		return m
+	case Structural:
+		m := structural.New()
+		if c.selectionThreshold != nil {
+			m.SelectionThreshold = *c.selectionThreshold
+		}
+		return m
+	case Cupid:
+		m := cupid.New(c.thesaurus())
+		if c.selectionThreshold != nil {
+			m.SelectionThreshold = *c.selectionThreshold
+		}
+		return m
+	default:
+		return c.hybrid()
+	}
+}

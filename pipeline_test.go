@@ -1,0 +1,191 @@
+package qmatch_test
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch"
+)
+
+const pipelineSourceDoc = `<PO>
+  <OrderNo>42</OrderNo>
+  <PurchaseInfo>
+    <BillingAddr>bill</BillingAddr>
+    <ShippingAddr>ship</ShippingAddr>
+    <Lines><Item>w</Item><Quantity>1</Quantity><UnitOfMeasure>kg</UnitOfMeasure></Lines>
+  </PurchaseInfo>
+  <PurchaseDate>2005-01-02</PurchaseDate>
+</PO>`
+
+func pipelineSchemas(t *testing.T) (*qmatch.Schema, *qmatch.Schema) {
+	t.Helper()
+	src, err := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="PO"><xs:complexType><xs:sequence>
+	    <xs:element name="OrderNo" type="xs:integer"/>
+	    <xs:element name="PurchaseInfo"><xs:complexType><xs:sequence>
+	      <xs:element name="BillingAddr" type="xs:string"/>
+	      <xs:element name="ShippingAddr" type="xs:string"/>
+	      <xs:element name="Lines"><xs:complexType><xs:sequence>
+	        <xs:element name="Item" type="xs:string"/>
+	        <xs:element name="Quantity" type="xs:integer"/>
+	        <xs:element name="UnitOfMeasure" type="xs:string"/>
+	      </xs:sequence></xs:complexType></xs:element>
+	    </xs:sequence></xs:complexType></xs:element>
+	    <xs:element name="PurchaseDate" type="xs:date"/>
+	  </xs:sequence></xs:complexType></xs:element>
+	</xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="PurchaseOrder"><xs:complexType><xs:sequence>
+	    <xs:element name="OrderNo" type="xs:integer"/>
+	    <xs:element name="BillTo" type="xs:string"/>
+	    <xs:element name="ShipTo" type="xs:string"/>
+	    <xs:element name="Items"><xs:complexType><xs:sequence>
+	      <xs:element name="ItemNo" type="xs:string"/>
+	      <xs:element name="Qty" type="xs:integer"/>
+	      <xs:element name="UOM" type="xs:string"/>
+	    </xs:sequence></xs:complexType></xs:element>
+	    <xs:element name="Date" type="xs:date"/>
+	  </xs:sequence></xs:complexType></xs:element>
+	</xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, tgt
+}
+
+// TestPipeline exercises match → translate → validate end to end through
+// the public API.
+func TestPipeline(t *testing.T) {
+	src, tgt := pipelineSchemas(t)
+	report := qmatch.Match(src, tgt)
+	if len(report.Correspondences) < 7 {
+		t.Fatalf("correspondences = %d", len(report.Correspondences))
+	}
+	tr, err := qmatch.NewTranslator(src, tgt, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	translated, err := tr.TranslateString(pipelineSourceDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(translated, "<Qty>1</Qty>") || !strings.Contains(translated, "<BillTo>bill</BillTo>") {
+		t.Fatalf("translated:\n%s", translated)
+	}
+	violations, err := qmatch.ValidateString(tgt, translated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations: %v\n%s", violations, translated)
+	}
+}
+
+func TestValidateFindsViolations(t *testing.T) {
+	src, _ := pipelineSchemas(t)
+	vs, err := qmatch.ValidateString(src, `<PO><OrderNo>not-a-number</OrderNo></PO>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []string
+	for _, v := range vs {
+		rules = append(rules, v.Rule)
+		if v.String() == "" {
+			t.Fatal("empty violation string")
+		}
+	}
+	joined := strings.Join(rules, ",")
+	if !strings.Contains(joined, "type") || !strings.Contains(joined, "required") {
+		t.Fatalf("rules = %v", rules)
+	}
+}
+
+func TestValidateMalformed(t *testing.T) {
+	src, _ := pipelineSchemas(t)
+	if _, err := qmatch.ValidateString(src, "<PO><oops>"); err == nil {
+		t.Fatal("malformed accepted")
+	}
+}
+
+func TestNewTranslatorRejectsForeignReport(t *testing.T) {
+	src, tgt := pipelineSchemas(t)
+	bogus := &qmatch.Report{Correspondences: []qmatch.Correspondence{
+		{Source: "Nope/Nope", Target: "PurchaseOrder/OrderNo"},
+	}}
+	if _, err := qmatch.NewTranslator(src, tgt, bogus); err == nil {
+		t.Fatal("foreign report accepted")
+	}
+}
+
+func TestDiffAPI(t *testing.T) {
+	oldS, err := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="R"><xs:complexType><xs:sequence>
+	    <xs:element name="Quantity" type="xs:integer"/>
+	  </xs:sequence></xs:complexType></xs:element></xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, err := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="R"><xs:complexType><xs:sequence>
+	    <xs:element name="Qty" type="xs:integer"/>
+	  </xs:sequence></xs:complexType></xs:element></xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := qmatch.Diff(oldS, newS)
+	var renames int
+	for _, e := range r.Entries {
+		if e.Kind == qmatch.DiffRenamed {
+			renames++
+			if e.OldPath != "R/Quantity" || e.NewPath != "R/Qty" {
+				t.Fatalf("rename = %+v", e)
+			}
+		}
+	}
+	if renames != 1 {
+		t.Fatalf("renames = %d\n%s", renames, r.Format(true))
+	}
+	if !strings.Contains(r.Format(false), "renamed") {
+		t.Fatal("format missing rename")
+	}
+}
+
+func TestMatchComplexAPI(t *testing.T) {
+	src, err := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Record"><xs:complexType><xs:sequence>
+	    <xs:element name="AuthorName" type="xs:string"/>
+	    <xs:element name="ISBN" type="xs:string"/>
+	  </xs:sequence></xs:complexType></xs:element></xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="Entry"><xs:complexType><xs:sequence>
+	    <xs:element name="Author"><xs:complexType><xs:sequence>
+	      <xs:element name="FirstName" type="xs:string"/>
+	      <xs:element name="LastName" type="xs:string"/>
+	    </xs:sequence></xs:complexType></xs:element>
+	    <xs:element name="BookNumber" type="xs:string"/>
+	  </xs:sequence></xs:complexType></xs:element></xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := qmatch.Match(src, tgt)
+	complexes := qmatch.MatchComplex(src, tgt, report, qmatch.WithoutBuiltinThesaurus())
+	// AuthorName has no 1:1 counterpart; the complex pass must split it.
+	var hit *qmatch.ComplexCorrespondence
+	for i := range complexes {
+		if complexes[i].Source == "Record/AuthorName" {
+			hit = &complexes[i]
+		}
+	}
+	if hit == nil || len(hit.Targets) != 2 {
+		t.Fatalf("complex = %v (report %v)", complexes, report.Correspondences)
+	}
+	if !strings.Contains(hit.String(), "{FirstName, LastName}") {
+		t.Fatalf("String = %q", hit.String())
+	}
+}

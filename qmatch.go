@@ -1,0 +1,271 @@
+// Package qmatch is a from-scratch Go implementation of QMatch, the hybrid
+// XML Schema match algorithm of Claypool, Hegde and Tansalarak (ICDE 2005),
+// together with the CUPID-style linguistic and structural baselines the
+// paper evaluates against, an XML Schema parser, and the QoM (Quality of
+// Match) taxonomy and weight model the algorithm is built on.
+//
+// The package is a thin façade over the implementation packages in
+// internal/: parse (or build) two schemas, run Match, and inspect the
+// returned Report.
+//
+//	src, _ := qmatch.ParseSchemaFile("po1.xsd")
+//	tgt, _ := qmatch.ParseSchemaFile("po2.xsd")
+//	report := qmatch.Match(src, tgt)
+//	for _, c := range report.Correspondences {
+//		fmt.Println(c)
+//	}
+//	fmt.Printf("schema QoM: %.2f\n", report.TreeQoM)
+package qmatch
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"qmatch/internal/core"
+	"qmatch/internal/lingo"
+	"qmatch/internal/linguistic"
+	"qmatch/internal/match"
+	"qmatch/internal/structural"
+	"qmatch/internal/xmltree"
+	"qmatch/internal/xsd"
+)
+
+// Schema is a parsed XML schema tree.
+type Schema struct {
+	root *xmltree.Node
+}
+
+// ParseSchema reads an XML Schema document and returns the schema rooted at
+// its first global element declaration.
+func ParseSchema(r io.Reader) (*Schema, error) {
+	root, err := xsd.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{root: root}, nil
+}
+
+// ParseSchemaString is ParseSchema over a string.
+func ParseSchemaString(s string) (*Schema, error) {
+	return ParseSchema(strings.NewReader(s))
+}
+
+// ParseSchemaFile is ParseSchema over a file path.
+func ParseSchemaFile(path string) (*Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qmatch: %w", err)
+	}
+	defer f.Close()
+	return ParseSchema(f)
+}
+
+// Name returns the label of the schema's root element.
+func (s *Schema) Name() string { return s.root.Label }
+
+// Size returns the number of elements (and attributes) in the schema.
+func (s *Schema) Size() int { return s.root.Size() }
+
+// MaxDepth returns the schema tree's maximum nesting depth.
+func (s *Schema) MaxDepth() int { return s.root.MaxDepth() }
+
+// Paths returns every element path in document order.
+func (s *Schema) Paths() []string {
+	var out []string
+	s.root.Walk(func(n *xmltree.Node) bool {
+		out = append(out, n.Path())
+		return true
+	})
+	return out
+}
+
+// Dump renders an indented view of the schema tree.
+func (s *Schema) Dump() string { return s.root.Dump() }
+
+// XSD renders the schema back to an XML Schema document.
+func (s *Schema) XSD() string { return xsd.Render(s.root) }
+
+// Tree exposes the underlying schema tree for advanced use alongside the
+// internal packages (examples, benchmarks, tooling inside this module).
+func (s *Schema) Tree() *xmltree.Node { return s.root }
+
+// FromTree wraps an existing schema tree.
+func FromTree(root *xmltree.Node) *Schema { return &Schema{root: root} }
+
+// Correspondence is one predicted element mapping.
+type Correspondence struct {
+	Source string
+	Target string
+	Score  float64
+}
+
+// String renders "PO/OrderNo -> PurchaseOrder/OrderNo (0.93)".
+func (c Correspondence) String() string {
+	return fmt.Sprintf("%s -> %s (%.2f)", c.Source, c.Target, c.Score)
+}
+
+// Report is the outcome of matching two schemas.
+type Report struct {
+	// Algorithm that produced the report ("hybrid", "linguistic",
+	// "structural").
+	Algorithm string
+	// Correspondences are the selected one-to-one element mappings,
+	// sorted by descending score.
+	Correspondences []Correspondence
+	// TreeQoM is the overall match value of the two schema roots — the
+	// "total match value presented to the user" of the paper.
+	TreeQoM float64
+}
+
+// Match matches the source schema against the target schema with the
+// hybrid QMatch algorithm (or a configured alternative) and returns the
+// report.
+func Match(src, tgt *Schema, opts ...Option) *Report {
+	cfg := newConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	alg := cfg.algorithm()
+	cs := alg.Match(src.root, tgt.root)
+	out := make([]Correspondence, len(cs))
+	for i, c := range cs {
+		out[i] = Correspondence{Source: c.Source, Target: c.Target, Score: c.Score}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Source < out[j].Source
+	})
+	return &Report{
+		Algorithm:       alg.Name(),
+		Correspondences: out,
+		TreeQoM:         alg.TreeScore(src.root, tgt.root),
+	}
+}
+
+// QoMBreakdown returns the full per-axis QoM of the two schema roots under
+// the hybrid model: label, properties, level and children axis scores, the
+// weighted value, and the taxonomy classification ("total exact", "total
+// relaxed", "partial exact", "partial relaxed", "no match").
+type QoMBreakdown struct {
+	Label, Properties, Level, Children float64
+	Value                              float64
+	Class                              string
+}
+
+// QoM computes the hybrid QoM breakdown for two schemas.
+func QoM(src, tgt *Schema, opts ...Option) QoMBreakdown {
+	cfg := newConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	res := cfg.hybrid().Tree(src.root, tgt.root)
+	q := res.Root
+	return QoMBreakdown{
+		Label:      q.Label,
+		Properties: q.Properties,
+		Level:      q.Level,
+		Children:   q.Children,
+		Value:      q.Value,
+		Class:      q.Class.String(),
+	}
+}
+
+// ComplexCorrespondence maps one source element to a combination of
+// sibling target elements (a 1:n split such as Name ↔ FirstName +
+// LastName).
+type ComplexCorrespondence struct {
+	Source  string
+	Targets []string
+	Score   float64
+}
+
+// String renders "Record/AuthorName -> {FirstName, LastName} (0.95)".
+func (c ComplexCorrespondence) String() string {
+	return match.ComplexCorrespondence{
+		Source: c.Source, Targets: c.Targets, Score: c.Score,
+	}.String()
+}
+
+// MatchComplex runs the 1:n complex-correspondence pass over the elements
+// a 1:1 report left unmatched: source leaves that correspond to a
+// combination of sibling target leaves (shared head token, qualifier
+// coverage). Pass the Report of a prior Match call so already-explained
+// elements are excluded; a nil report searches the whole schemas.
+func MatchComplex(src, tgt *Schema, report *Report, opts ...Option) []ComplexCorrespondence {
+	cfg := newConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	var matched []match.Correspondence
+	if report != nil {
+		matched = make([]match.Correspondence, len(report.Correspondences))
+		for i, c := range report.Correspondences {
+			matched[i] = match.Correspondence{Source: c.Source, Target: c.Target}
+		}
+	}
+	found := match.FindComplex(src.root, tgt.root, matched, match.ComplexConfig{
+		Names: lingo.NewNameMatcher(cfg.thesaurus()),
+	})
+	out := make([]ComplexCorrespondence, len(found))
+	for i, c := range found {
+		out[i] = ComplexCorrespondence{Source: c.Source, Targets: c.Targets, Score: c.Score}
+	}
+	return out
+}
+
+// ExplainTop returns human-readable derivations of the n best pairs' QoM
+// under the hybrid model: per-axis scores and kinds, weighted
+// contributions, and the per-child best matches behind the children axis.
+func ExplainTop(src, tgt *Schema, n int, opts ...Option) string {
+	cfg := newConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	h := cfg.hybrid()
+	res := h.Tree(src.root, tgt.root)
+	return h.Matcher.ExplainTop(res, n)
+}
+
+// Evaluation mirrors the paper's match-quality measures for a report
+// against a reference mapping.
+type Evaluation struct {
+	TruePositives  int
+	FalsePositives int
+	Missed         int
+	Precision      float64
+	Recall         float64
+	Overall        float64
+	F1             float64
+}
+
+// Evaluate scores a report against the real matches, given as
+// source-path/target-path pairs.
+func Evaluate(r *Report, real [][2]string) Evaluation {
+	gold := match.NewGold(real...)
+	pred := make([]match.Correspondence, len(r.Correspondences))
+	for i, c := range r.Correspondences {
+		pred[i] = match.Correspondence{Source: c.Source, Target: c.Target, Score: c.Score}
+	}
+	e := match.Evaluate(pred, gold)
+	return Evaluation{
+		TruePositives:  e.TruePositives,
+		FalsePositives: e.FalsePositives,
+		Missed:         e.Missed,
+		Precision:      e.Precision,
+		Recall:         e.Recall,
+		Overall:        e.Overall,
+		F1:             e.F1,
+	}
+}
+
+// interface guards: the three algorithms stay interchangeable.
+var (
+	_ match.Algorithm = (*core.Hybrid)(nil)
+	_ match.Algorithm = (*linguistic.Matcher)(nil)
+	_ match.Algorithm = (*structural.Matcher)(nil)
+)

@@ -1,0 +1,147 @@
+package qmatch_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qmatch"
+	"qmatch/internal/dataset"
+	"qmatch/internal/synth"
+)
+
+func TestRankOrdersByScore(t *testing.T) {
+	query := qmatch.FromTree(dataset.PO1())
+	corpus := []*qmatch.Schema{
+		qmatch.FromTree(dataset.Book()),    // unrelated domain
+		qmatch.FromTree(dataset.PO2()),     // the real counterpart
+		qmatch.FromTree(dataset.Library()), // unrelated domain
+		qmatch.FromTree(dataset.PO1()),     // identical schema
+	}
+	ranked := qmatch.Rank(query, corpus)
+	if len(ranked) != len(corpus) {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0].Schema.Name() != "PO" || ranked[0].Score < 0.999 {
+		t.Fatalf("best = %s (%v), want identical PO", ranked[0].Schema.Name(), ranked[0].Score)
+	}
+	if ranked[1].Schema.Name() != "PurchaseOrder" {
+		t.Fatalf("second = %s, want PurchaseOrder", ranked[1].Schema.Name())
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+	// Index points back into the input corpus.
+	if corpus[ranked[0].Index].Name() != ranked[0].Schema.Name() {
+		t.Fatal("index mismatch")
+	}
+	// The counterpart's correspondences came back too.
+	if len(ranked[1].Correspondences) == 0 {
+		t.Fatal("no correspondences for the counterpart")
+	}
+}
+
+func TestRankEmptyCorpus(t *testing.T) {
+	if got := qmatch.Rank(qmatch.FromTree(dataset.PO1()), nil); len(got) != 0 {
+		t.Fatalf("ranked empty corpus = %v", got)
+	}
+}
+
+func TestRankConcurrentConsistency(t *testing.T) {
+	// A larger corpus exercises the worker pool; results must be
+	// deterministic across runs.
+	query := qmatch.FromTree(dataset.PO1())
+	var corpus []*qmatch.Schema
+	for seed := int64(1); seed <= 12; seed++ {
+		corpus = append(corpus, qmatch.FromTree(
+			synth.Generate(synth.Config{Seed: seed, Elements: 40, MaxDepth: 4, MaxChildren: 6})))
+	}
+	corpus = append(corpus, qmatch.FromTree(dataset.PO2()))
+	a := qmatch.Rank(query, corpus)
+	b := qmatch.Rank(query, corpus)
+	for i := range a {
+		if a[i].Index != b[i].Index || a[i].Score != b[i].Score {
+			t.Fatalf("run difference at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if a[0].Schema.Name() != "PurchaseOrder" {
+		t.Fatalf("best = %s, want PurchaseOrder", a[0].Schema.Name())
+	}
+}
+
+func TestRankWithOptions(t *testing.T) {
+	query := qmatch.FromTree(dataset.Library())
+	corpus := []*qmatch.Schema{qmatch.FromTree(dataset.Human())}
+	hybrid := qmatch.Rank(query, corpus)
+	structural := qmatch.Rank(query, corpus, qmatch.WithAlgorithm(qmatch.Structural))
+	if structural[0].Score <= hybrid[0].Score {
+		t.Fatalf("structural (%v) should beat hybrid (%v) on the Fig. 9 pair",
+			structural[0].Score, hybrid[0].Score)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	src, tgt := poPairXSD(t)
+	report := qmatch.Match(src, tgt)
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := qmatch.ReadReportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != report.Algorithm || back.TreeQoM != report.TreeQoM {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if len(back.Correspondences) != len(report.Correspondences) {
+		t.Fatalf("correspondences = %d", len(back.Correspondences))
+	}
+}
+
+func TestReportTSVRoundTrip(t *testing.T) {
+	src, tgt := poPairXSD(t)
+	report := qmatch.Match(src, tgt)
+	var buf bytes.Buffer
+	if err := report.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PO/OrderNo\tPurchaseOrder/OrderNo\t1.000000") {
+		t.Fatalf("tsv:\n%s", buf.String())
+	}
+	back, err := qmatch.ReadReportTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != "hybrid" {
+		t.Fatalf("algorithm = %q", back.Algorithm)
+	}
+	if back.TreeQoM != report.TreeQoM {
+		// TSV carries 6 decimal places; compare at that precision.
+		if diff := back.TreeQoM - report.TreeQoM; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("treeQoM = %v vs %v", back.TreeQoM, report.TreeQoM)
+		}
+	}
+	if len(back.Correspondences) != len(report.Correspondences) {
+		t.Fatalf("correspondences = %d", len(back.Correspondences))
+	}
+}
+
+func TestReportTSVErrors(t *testing.T) {
+	if _, err := qmatch.ReadReportTSV(strings.NewReader("only\ttwo\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := qmatch.ReadReportTSV(strings.NewReader("a\tb\tnotanumber\n")); err == nil {
+		t.Fatal("bad score accepted")
+	}
+	if _, err := qmatch.ReadReportJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	// Blank lines and stray comments are tolerated.
+	r, err := qmatch.ReadReportTSV(strings.NewReader("\n# hello\na\tb\t0.5\n"))
+	if err != nil || len(r.Correspondences) != 1 {
+		t.Fatalf("lenient parse failed: %v %v", r, err)
+	}
+}

@@ -1,0 +1,80 @@
+package qmatch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTSV serializes the correspondences as tab-separated
+// source/target/score lines, with a trailing comment line carrying the
+// algorithm and tree QoM.
+func (r *Report) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range r.Correspondences {
+		fmt.Fprintf(bw, "%s\t%s\t%.6f\n", c.Source, c.Target, c.Score)
+	}
+	fmt.Fprintf(bw, "# algorithm=%s treeQoM=%.6f\n", r.Algorithm, r.TreeQoM)
+	return bw.Flush()
+}
+
+// ReadReportJSON deserializes a report written by WriteJSON.
+func ReadReportJSON(r io.Reader) (*Report, error) {
+	var out Report
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("qmatch: read report: %w", err)
+	}
+	return &out, nil
+}
+
+// ReadReportTSV deserializes a report written by WriteTSV. Lines starting
+// with '#' are treated as metadata comments; the algorithm and treeQoM
+// values are recovered when present.
+func ReadReportTSV(r io.Reader) (*Report, error) {
+	out := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+				if v, ok := strings.CutPrefix(field, "algorithm="); ok {
+					out.Algorithm = v
+				}
+				if v, ok := strings.CutPrefix(field, "treeQoM="); ok {
+					if f, err := strconv.ParseFloat(v, 64); err == nil {
+						out.TreeQoM = f
+					}
+				}
+			}
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("qmatch: read report: malformed line %q", line)
+		}
+		score, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("qmatch: read report: bad score in %q", line)
+		}
+		out.Correspondences = append(out.Correspondences, Correspondence{
+			Source: parts[0], Target: parts[1], Score: score,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qmatch: read report: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package qmatch
+
+import (
+	"io"
+
+	"qmatch/internal/match"
+	"qmatch/internal/translate"
+)
+
+// Translator converts instance documents from a source schema's structure
+// into a target schema's structure, driven by matched correspondences.
+type Translator struct {
+	inner *translate.Translator
+}
+
+// NewTranslator compiles a translator from a match report (typically the
+// output of Match on the same two schemas).
+func NewTranslator(src, tgt *Schema, report *Report) (*Translator, error) {
+	cs := make([]match.Correspondence, len(report.Correspondences))
+	for i, c := range report.Correspondences {
+		cs[i] = match.Correspondence{Source: c.Source, Target: c.Target, Score: c.Score}
+	}
+	inner, err := translate.New(src.root, tgt.root, cs)
+	if err != nil {
+		return nil, err
+	}
+	return &Translator{inner: inner}, nil
+}
+
+// Translate reads a source-structured XML document and writes the
+// target-structured equivalent.
+func (t *Translator) Translate(r io.Reader, w io.Writer) error {
+	return t.inner.Translate(r, w)
+}
+
+// TranslateString is Translate over strings.
+func (t *Translator) TranslateString(doc string) (string, error) {
+	return t.inner.TranslateString(doc)
+}

@@ -1,0 +1,45 @@
+package qmatch
+
+import (
+	"io"
+	"strings"
+
+	"qmatch/internal/validate"
+)
+
+// Violation is one finding from validating an instance document against a
+// schema.
+type Violation struct {
+	// Path locates the offending document node ("PO/Lines/Item[2]").
+	Path string
+	// Rule names the violated constraint: "root", "undeclared",
+	// "required", "occurs", "type" or "fixed".
+	Rule string
+	// Detail explains the finding.
+	Detail string
+}
+
+// String renders "PO/OrderNo: type: value "abc" is not a valid integer".
+func (v Violation) String() string {
+	return validate.Violation(v).String()
+}
+
+// Validate checks an XML instance document against the schema and returns
+// the violations found (empty for a valid document). An error is returned
+// only for malformed XML.
+func Validate(schema *Schema, doc io.Reader) ([]Violation, error) {
+	vs, err := validate.Against(schema.root, doc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Violation, len(vs))
+	for i, v := range vs {
+		out[i] = Violation(v)
+	}
+	return out, nil
+}
+
+// ValidateString is Validate over a string.
+func ValidateString(schema *Schema, doc string) ([]Violation, error) {
+	return Validate(schema, strings.NewReader(doc))
+}
