@@ -9,8 +9,10 @@
 package qmatch_test
 
 import (
+	"context"
 	"testing"
 
+	"qmatch"
 	"qmatch/internal/bench"
 	"qmatch/internal/core"
 	"qmatch/internal/dataset"
@@ -136,6 +138,38 @@ func BenchmarkScalability(b *testing.B) {
 				benchMatch(b, alg, p)
 			})
 		}
+	}
+}
+
+// BenchmarkMatchAll measures Engine.MatchAll over a grid of synthetic
+// schema pairs at worker bounds 1 and 4. On multicore hardware the pairs
+// are independent jobs, so the par4 series should approach a 4x speedup
+// while producing bit-identical reports (asserted by
+// TestMatchAllEqualsSequentialMatch and qbench -ext parallel).
+func BenchmarkMatchAll(b *testing.B) {
+	const n = 4
+	sources := make([]*qmatch.Schema, n)
+	targets := make([]*qmatch.Schema, n)
+	for i := 0; i < n; i++ {
+		root := synth.Generate(synth.Config{Seed: int64(100 + i), Elements: 120, MaxDepth: 5, MaxChildren: 8})
+		variant, _ := synth.Derive(root, synth.Uniform(int64(200+i), 0.2))
+		sources[i] = qmatch.FromTree(root)
+		targets[i] = qmatch.FromTree(variant)
+	}
+	for _, par := range []int{1, 4} {
+		par := par
+		b.Run("par"+itoa(par), func(b *testing.B) {
+			eng, err := qmatch.NewEngine(qmatch.WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.MatchAll(context.Background(), sources, targets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@
 //	qbench -ext ablation      # extension: label-gate + selection ablations
 //	qbench -ext composite     # extension: QMatch vs CUPID vs composite
 //	qbench -ext instances     # extension: instance evidence under renames
+//	qbench -ext parallel      # extension: MatchAll batch scaling vs workers
 //	qbench -reps N         # repetitions for runtime measurements (default 3)
 //	qbench -fast           # skip the slow experiments (Figure 4's protein
 //	                       # workload and the full Table 2 sweep)
@@ -74,6 +75,16 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, bench.FormatInstanceBlend(rows))
+		case "parallel":
+			schemas, elements := 6, 150
+			if *fast {
+				schemas, elements = 4, 80
+			}
+			rows, err := bench.ParallelScaling(schemas, elements, []int{2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, bench.FormatParallel(rows))
 		default:
 			return fmt.Errorf("unknown extension %q", *ext)
 		}

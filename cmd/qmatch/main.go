@@ -12,9 +12,10 @@
 //
 // Flags:
 //
-//	-algorithm hybrid|linguistic|structural   matcher to run (default hybrid)
+//	-algorithm hybrid|linguistic|structural|cupid   matcher to run (default hybrid)
 //	-threshold FLOAT                          selection threshold (default per algorithm)
 //	-weights WL,WP,WH,WC                      hybrid axis weights (default 0.3,0.2,0.1,0.4)
+//	-parallel N                               worker bound (0 = GOMAXPROCS)
 //	-builtin                                  treat arguments as corpus schema names
 //	-format text|json|tsv                     output format (default text)
 //	-config FILE                              load matcher settings from a JSON config file
@@ -46,9 +47,10 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qmatch", flag.ContinueOnError)
-	algorithm := fs.String("algorithm", "hybrid", "matcher: hybrid, linguistic or structural")
+	algorithm := fs.String("algorithm", "hybrid", "matcher: hybrid, linguistic, structural or cupid")
 	threshold := fs.Float64("threshold", -1, "selection threshold override")
 	weights := fs.String("weights", "", "hybrid axis weights as WL,WP,WH,WC")
+	parallel := fs.Int("parallel", 0, "worker bound (0 = GOMAXPROCS)")
 	builtin := fs.Bool("builtin", false, "treat arguments as built-in corpus schema names")
 	format := fs.String("format", "text", "output format: text, json or tsv")
 	configPath := fs.String("config", "", "JSON matcher configuration file")
@@ -82,12 +84,11 @@ func run(args []string, out io.Writer) error {
 		// Config first: explicit flags below override it.
 		opts = append(opts, fromFile...)
 	}
-	switch *algorithm {
-	case "hybrid", "linguistic", "structural":
-		opts = append(opts, qmatch.WithAlgorithm(qmatch.Algorithm(*algorithm)))
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	alg, err := qmatch.ParseAlgorithm(*algorithm)
+	if err != nil {
+		return err
 	}
+	opts = append(opts, qmatch.WithAlgorithm(alg))
 	if *threshold >= 0 {
 		opts = append(opts, qmatch.WithSelectionThreshold(*threshold))
 	}
@@ -98,12 +99,19 @@ func run(args []string, out io.Writer) error {
 		}
 		opts = append(opts, qmatch.WithWeights(w))
 	}
+	if *parallel != 0 {
+		opts = append(opts, qmatch.WithParallelism(*parallel))
+	}
 	if *thesaurusPath != "" {
 		th, err := qmatch.LoadThesaurusFile(*thesaurusPath)
 		if err != nil {
 			return err
 		}
 		opts = append(opts, qmatch.WithThesaurus(th))
+	}
+	eng, err := qmatch.NewEngine(opts...)
+	if err != nil {
+		return err
 	}
 
 	if *dump {
@@ -113,7 +121,7 @@ func run(args []string, out io.Writer) error {
 			tgt.Name(), tgt.Size(), tgt.MaxDepth(), tgt.Dump())
 	}
 
-	report := qmatch.Match(src, tgt, opts...)
+	report := eng.Match(src, tgt)
 	switch *format {
 	case "json":
 		return report.WriteJSON(out)
@@ -132,19 +140,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *showQoM {
-		q := qmatch.QoM(src, tgt, opts...)
+		q := eng.QoM(src, tgt)
 		fmt.Fprintf(out, "QoM breakdown: label=%.2f properties=%.2f level=%.2f children=%.2f value=%.2f class=%q\n",
 			q.Label, q.Properties, q.Level, q.Children, q.Value, q.Class)
 	}
 	if *complexFlag {
-		complexes := qmatch.MatchComplex(src, tgt, report, opts...)
+		complexes := eng.MatchComplex(src, tgt, report)
 		fmt.Fprintf(out, "complex correspondences (%d):\n", len(complexes))
 		for _, c := range complexes {
 			fmt.Fprintf(out, "  %s\n", c)
 		}
 	}
 	if *explain > 0 {
-		fmt.Fprintf(out, "\n%s", qmatch.ExplainTop(src, tgt, *explain, opts...))
+		fmt.Fprintf(out, "\n%s", eng.ExplainTop(src, tgt, *explain))
 	}
 	return nil
 }

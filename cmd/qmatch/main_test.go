@@ -73,7 +73,7 @@ func TestRunFormats(t *testing.T) {
 	if err := run([]string{"-builtin", "-format", "json", "PO1", "PO2"}, &jsonOut); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(jsonOut.String(), `"Algorithm": "hybrid"`) {
+	if !strings.Contains(jsonOut.String(), `"algorithm": "hybrid"`) {
 		t.Fatalf("json:\n%s", jsonOut.String())
 	}
 	var tsvOut bytes.Buffer

@@ -79,15 +79,16 @@ func run(args []string, out io.Writer) error {
 		names = append(names, p)
 	}
 
-	var opts []qmatch.Option
-	switch *algorithm {
-	case "hybrid", "linguistic", "structural", "cupid":
-		opts = append(opts, qmatch.WithAlgorithm(qmatch.Algorithm(*algorithm)))
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	alg, err := qmatch.ParseAlgorithm(*algorithm)
+	if err != nil {
+		return err
+	}
+	eng, err := qmatch.NewEngine(qmatch.WithAlgorithm(alg))
+	if err != nil {
+		return err
 	}
 
-	ranked := qmatch.Rank(query, corpus, opts...)
+	ranked := eng.Rank(query, corpus)
 	limit := len(ranked)
 	if *top > 0 && *top < limit {
 		limit = *top

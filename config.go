@@ -16,7 +16,8 @@ import (
 //	  "childThreshold": 0.5,
 //	  "selectionThreshold": 0.75,
 //	  "thesaurus": "domain.tsv",
-//	  "useBuiltinThesaurus": true
+//	  "useBuiltinThesaurus": true,
+//	  "parallelism": 0
 //	}
 //
 // Every field is optional; omitted fields keep their defaults. A relative
@@ -33,6 +34,7 @@ type fileConfig struct {
 	SelectionThreshold  *float64 `json:"selectionThreshold,omitempty"`
 	Thesaurus           string   `json:"thesaurus,omitempty"`
 	UseBuiltinThesaurus *bool    `json:"useBuiltinThesaurus,omitempty"`
+	Parallelism         *int     `json:"parallelism,omitempty"`
 }
 
 // OptionsFromJSON reads a matcher configuration and returns the equivalent
@@ -47,12 +49,11 @@ func OptionsFromJSON(r io.Reader, baseDir string) ([]Option, error) {
 	}
 	var opts []Option
 	if fc.Algorithm != "" {
-		switch Algorithm(fc.Algorithm) {
-		case Hybrid, Linguistic, Structural, Cupid:
-			opts = append(opts, WithAlgorithm(Algorithm(fc.Algorithm)))
-		default:
-			return nil, fmt.Errorf("qmatch: config: unknown algorithm %q", fc.Algorithm)
+		alg, err := ParseAlgorithm(fc.Algorithm)
+		if err != nil {
+			return nil, fmt.Errorf("qmatch: config: %w", err)
 		}
+		opts = append(opts, WithAlgorithm(alg))
 	}
 	if fc.Weights != nil {
 		w := Weights{
@@ -61,13 +62,21 @@ func OptionsFromJSON(r io.Reader, baseDir string) ([]Option, error) {
 			Level:      fc.Weights.Level,
 			Children:   fc.Weights.Children,
 		}
-		if w.Label < 0 || w.Properties < 0 || w.Level < 0 || w.Children < 0 {
-			return nil, fmt.Errorf("qmatch: config: negative weight")
+		// Reject bad weights here too, so config files fail fast with
+		// a file-level error instead of at Engine construction.
+		if err := w.validate(); err != nil {
+			return nil, fmt.Errorf("qmatch: config: %w", err)
 		}
 		opts = append(opts, WithWeights(w))
 	}
 	if fc.ChildThreshold != nil {
 		opts = append(opts, WithChildThreshold(*fc.ChildThreshold))
+	}
+	if fc.Parallelism != nil {
+		if *fc.Parallelism < 0 {
+			return nil, fmt.Errorf("qmatch: config: negative parallelism %d", *fc.Parallelism)
+		}
+		opts = append(opts, WithParallelism(*fc.Parallelism))
 	}
 	if fc.SelectionThreshold != nil {
 		opts = append(opts, WithSelectionThreshold(*fc.SelectionThreshold))

@@ -1,0 +1,339 @@
+package qmatch
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qmatch/internal/core"
+	"qmatch/internal/cupid"
+	"qmatch/internal/lingo"
+	"qmatch/internal/linguistic"
+	"qmatch/internal/match"
+	"qmatch/internal/structural"
+)
+
+// Engine is a reusable, goroutine-safe matching handle. It is compiled
+// once from Options — the algorithm choice, weights and thresholds are
+// frozen, the thesaurus merge is performed a single time and shared
+// read-only, and the linguistic name-similarity caches live in a pool that
+// hands each concurrent worker its own warm instance. Every method may be
+// called from any number of goroutines simultaneously.
+//
+// Construction is where configuration errors surface: unknown algorithms,
+// negative or all-zero weights, out-of-range thresholds and negative
+// parallelism are rejected by NewEngine instead of being silently
+// normalized at match time.
+//
+// The package-level Match, QoM, MatchComplex, ExplainTop and Rank
+// functions are thin wrappers that build a throwaway Engine per call;
+// services matching many schema pairs should build one Engine and reuse
+// it, batching with MatchAll where possible.
+type Engine struct {
+	cfg         config
+	weights     core.AxisWeights
+	thesaurus   *lingo.Thesaurus
+	names       *lingo.MatcherPool
+	parallelism int
+}
+
+// NewEngine compiles the options into a reusable, goroutine-safe Engine.
+// It returns an error for option sets the matchers cannot interpret:
+// an unknown algorithm, weights with a negative component or all
+// components zero, thresholds outside [0,1], or negative parallelism.
+func NewEngine(opts ...Option) (*Engine, error) {
+	cfg := newConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	th := cfg.thesaurus()
+	e := &Engine{
+		cfg:         *cfg,
+		weights:     cfg.axisWeights(),
+		thesaurus:   th,
+		names:       lingo.NewMatcherPool(th),
+		parallelism: cfg.parallelism,
+	}
+	if e.parallelism == 0 {
+		e.parallelism = runtime.GOMAXPROCS(0)
+	}
+	return e, nil
+}
+
+// mustEngine backs the package-level convenience functions, which keep
+// their historical panic-free-on-valid-input signatures: invalid options
+// panic with the same error NewEngine would return.
+func mustEngine(opts []Option) *Engine {
+	e, err := NewEngine(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Algorithm returns the frozen algorithm choice.
+func (e *Engine) Algorithm() Algorithm { return e.cfg.alg }
+
+// Parallelism returns the effective worker bound (the WithParallelism
+// value, or the GOMAXPROCS-derived default).
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// algorithm builds one single-goroutine matcher instance over the shared
+// thesaurus, borrowing a warm NameMatcher from the pool. inner bounds the
+// pair-table worker pool of the hybrid matcher. The returned release
+// function gives the NameMatcher back; the matcher must not be used after
+// release.
+func (e *Engine) algorithm(inner int) (match.Algorithm, func()) {
+	switch e.cfg.alg {
+	case Linguistic:
+		m := linguistic.New(e.thesaurus)
+		m.Names = e.names.Get()
+		if e.cfg.selectionThreshold != nil {
+			m.SelectionThreshold = *e.cfg.selectionThreshold
+		}
+		return m, func() { e.names.Put(m.Names) }
+	case Structural:
+		m := structural.New()
+		if e.cfg.selectionThreshold != nil {
+			m.SelectionThreshold = *e.cfg.selectionThreshold
+		}
+		return m, func() {}
+	case Cupid:
+		m := cupid.New(e.thesaurus)
+		m.Names = e.names.Get()
+		if e.cfg.selectionThreshold != nil {
+			m.SelectionThreshold = *e.cfg.selectionThreshold
+		}
+		return m, func() { e.names.Put(m.Names) }
+	default:
+		h, release := e.hybrid(inner)
+		return h, release
+	}
+}
+
+// hybrid builds one single-goroutine hybrid matcher with the engine's
+// frozen tuning and a pooled NameMatcher.
+func (e *Engine) hybrid(inner int) (*core.Hybrid, func()) {
+	h := core.NewHybrid(e.thesaurus)
+	h.Matcher.Names = e.names.Get()
+	h.Matcher.Weights = e.weights
+	h.Matcher.Parallelism = inner
+	if e.cfg.childThreshold != nil {
+		h.Threshold = *e.cfg.childThreshold
+	}
+	if e.cfg.selectionThreshold != nil {
+		h.SelectionThreshold = *e.cfg.selectionThreshold
+	}
+	return h, func() { e.names.Put(h.Matcher.Names) }
+}
+
+// reportFrom runs one matcher over one schema pair and assembles the
+// public Report (selected correspondences sorted by descending score,
+// plus the root tree QoM).
+func reportFrom(alg match.Algorithm, src, tgt *Schema) *Report {
+	cs := alg.Match(src.root, tgt.root)
+	out := make([]Correspondence, len(cs))
+	for i, c := range cs {
+		out[i] = Correspondence{Source: c.Source, Target: c.Target, Score: c.Score}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Source < out[j].Source
+	})
+	return &Report{
+		Algorithm:       alg.Name(),
+		Correspondences: out,
+		TreeQoM:         alg.TreeScore(src.root, tgt.root),
+	}
+}
+
+// Match matches one schema pair with the engine's frozen configuration.
+// It is safe to call concurrently; a single large match additionally
+// parallelizes its QoM pair-table computation up to the engine's
+// parallelism (hybrid algorithm only).
+func (e *Engine) Match(src, tgt *Schema) *Report {
+	alg, release := e.algorithm(e.parallelism)
+	defer release()
+	return reportFrom(alg, src, tgt)
+}
+
+// QoM computes the hybrid QoM breakdown of the two schema roots.
+func (e *Engine) QoM(src, tgt *Schema) QoMBreakdown {
+	h, release := e.hybrid(e.parallelism)
+	defer release()
+	q := h.Tree(src.root, tgt.root).Root
+	return QoMBreakdown{
+		Label:      q.Label,
+		Properties: q.Properties,
+		Level:      q.Level,
+		Children:   q.Children,
+		Value:      q.Value,
+		Class:      q.Class.String(),
+	}
+}
+
+// MatchComplex runs the 1:n complex-correspondence pass over the elements
+// a 1:1 report left unmatched. Pass the Report of a prior Match call so
+// already-explained elements are excluded; a nil report searches the whole
+// schemas.
+func (e *Engine) MatchComplex(src, tgt *Schema, report *Report) []ComplexCorrespondence {
+	var matched []match.Correspondence
+	if report != nil {
+		matched = make([]match.Correspondence, len(report.Correspondences))
+		for i, c := range report.Correspondences {
+			matched[i] = match.Correspondence{Source: c.Source, Target: c.Target}
+		}
+	}
+	names := e.names.Get()
+	defer e.names.Put(names)
+	found := match.FindComplex(src.root, tgt.root, matched, match.ComplexConfig{Names: names})
+	out := make([]ComplexCorrespondence, len(found))
+	for i, c := range found {
+		out[i] = ComplexCorrespondence{Source: c.Source, Targets: c.Targets, Score: c.Score}
+	}
+	return out
+}
+
+// ExplainTop returns human-readable derivations of the n best pairs' QoM
+// under the hybrid model.
+func (e *Engine) ExplainTop(src, tgt *Schema, n int) string {
+	h, release := e.hybrid(e.parallelism)
+	defer release()
+	res := h.Tree(src.root, tgt.root)
+	return h.Matcher.ExplainTop(res, n)
+}
+
+// MatchAll matches every source schema against every target schema,
+// fanning the len(sources)×len(targets) jobs across the engine's worker
+// pool. The result is indexed result[i][j] = Match(sources[i],
+// targets[j]); reports are identical (bit-for-bit, including scores) to
+// sequential Match calls. The context cancels outstanding work: on
+// cancellation MatchAll returns ctx.Err() and a nil result. A nil ctx is
+// treated as context.Background().
+func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([][]*Report, len(sources))
+	for i := range out {
+		out[i] = make([]*Report, len(targets))
+	}
+	jobs := len(sources) * len(targets)
+	if jobs == 0 {
+		return out, ctx.Err()
+	}
+	workers := e.parallelism
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Whole pairs are the unit of parallelism; any worker-pool slack
+	// (fewer jobs than workers) goes to the inner pair-table pool.
+	inner := e.parallelism / workers
+	if inner < 1 {
+		inner = 1
+	}
+
+	type job struct{ i, j int }
+	ch := make(chan job)
+	go func() {
+		defer close(ch)
+		for i := range sources {
+			for j := range targets {
+				select {
+				case ch <- job{i, j}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			alg, release := e.algorithm(inner)
+			defer release()
+			resetter, _ := alg.(interface{ ResetCache() })
+			for jb := range ch {
+				if resetter != nil {
+					// Distinct pairs never reuse each other's
+					// tables; dropping them bounds memory over
+					// large batches.
+					resetter.ResetCache()
+				}
+				out[jb.i][jb.j] = reportFrom(alg, sources[jb.i], targets[jb.j])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Rank matches one query schema against every schema of a corpus
+// concurrently and returns the corpus sorted by descending overall match
+// value — the paper's motivating scenario of locating, among many
+// heterogeneous web documents, those whose schema best matches a query
+// schema (§1).
+func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
+	out := make([]Ranked, len(corpus))
+	workers := e.parallelism
+	if workers > len(corpus) {
+		workers = len(corpus)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			alg, release := e.algorithm(1)
+			defer release()
+			resetter, _ := alg.(interface{ ResetCache() })
+			for i := range jobs {
+				if resetter != nil {
+					resetter.ResetCache()
+				}
+				tgt := corpus[i]
+				cs := alg.Match(query.root, tgt.root)
+				r := Ranked{Index: i, Schema: tgt, Score: alg.TreeScore(query.root, tgt.root)}
+				r.Correspondences = make([]Correspondence, len(cs))
+				for j, c := range cs {
+					r.Correspondences[j] = Correspondence{Source: c.Source, Target: c.Target, Score: c.Score}
+				}
+				out[i] = r
+			}
+		}()
+	}
+	for i := range corpus {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// interface guard: the CUPID matcher stays interchangeable too.
+var _ match.Algorithm = (*cupid.Matcher)(nil)

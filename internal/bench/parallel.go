@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"qmatch"
+	"qmatch/internal/synth"
+)
+
+// ParallelRow is one worker-bound level of the MatchAll scaling experiment:
+// wall-clock time of the whole batch, speedup over the sequential engine,
+// and whether every report came out bit-identical to the sequential run.
+type ParallelRow struct {
+	Parallelism int
+	Elapsed     time.Duration
+	Speedup     float64
+	Identical   bool
+}
+
+// ParallelScaling measures Engine.MatchAll over a grid of schemas × their
+// derived variants at increasing worker bounds. schemas is the number of
+// source schemas (the grid has schemas² jobs), elements the size of each
+// synthetic schema. The first returned row is always the sequential
+// baseline (parallelism 1); correctness of each parallel run is checked
+// against it report-for-report.
+func ParallelScaling(schemas, elements int, levels []int) ([]ParallelRow, error) {
+	if schemas < 1 {
+		schemas = 4
+	}
+	if elements < 2 {
+		elements = 120
+	}
+	sources := make([]*qmatch.Schema, schemas)
+	targets := make([]*qmatch.Schema, schemas)
+	for i := 0; i < schemas; i++ {
+		root := synth.Generate(synth.Config{Seed: int64(1000 + i), Elements: elements})
+		variant, _ := synth.Derive(root, synth.Uniform(int64(2000+i), 0.2))
+		sources[i] = qmatch.FromTree(root)
+		targets[i] = qmatch.FromTree(variant)
+	}
+
+	run := func(par int) ([][]*qmatch.Report, time.Duration, error) {
+		eng, err := qmatch.NewEngine(qmatch.WithParallelism(par))
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		got, err := eng.MatchAll(context.Background(), sources, targets)
+		return got, time.Since(start), err
+	}
+
+	base, baseTime, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	rows := []ParallelRow{{Parallelism: 1, Elapsed: baseTime, Speedup: 1, Identical: true}}
+	for _, par := range levels {
+		if par <= 1 {
+			continue
+		}
+		got, elapsed, err := run(par)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ParallelRow{
+			Parallelism: par,
+			Elapsed:     elapsed,
+			Speedup:     float64(baseTime) / float64(elapsed),
+			Identical:   reportGridsEqual(base, got),
+		})
+	}
+	return rows, nil
+}
+
+// reportGridsEqual compares two MatchAll results bit-for-bit: same grid
+// shape, same algorithm, same tree QoM and identical correspondence lists.
+func reportGridsEqual(a, b [][]*qmatch.Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !reportsEqual(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func reportsEqual(a, b *qmatch.Report) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Algorithm != b.Algorithm || a.TreeQoM != b.TreeQoM ||
+		len(a.Correspondences) != len(b.Correspondences) {
+		return false
+	}
+	for i := range a.Correspondences {
+		if a.Correspondences[i] != b.Correspondences[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatParallel renders the scaling rows.
+func FormatParallel(rows []ParallelRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: MatchAll batch scaling (one shared Engine, grid of synthetic pairs)\n")
+	fmt.Fprintf(&b, "%-12s %14s %10s %10s\n", "Parallelism", "Elapsed", "Speedup", "Identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %14s %9.2fx %10v\n",
+			r.Parallelism, r.Elapsed, r.Speedup, r.Identical)
+	}
+	return b.String()
+}

@@ -14,12 +14,15 @@ import (
 type Hybrid struct {
 	*Matcher
 
-	// Single-entry result memo: Match followed by TreeScore on the same
-	// pair (the common evaluation pattern) computes the pair table
-	// once. Like the underlying NameMatcher caches, a Hybrid is not
-	// safe for concurrent use; give each goroutine its own instance.
-	lastSrc, lastTgt *xmltree.Node
-	lastResult       *Result
+	// Keyed result memo: Match followed by TreeScore on the same pair
+	// (the common evaluation pattern) computes the pair table once, and
+	// alternating among several schema pairs keeps every table warm.
+	// The memo grows with the number of distinct pairs matched; call
+	// ResetCache to drop it. Like the underlying NameMatcher caches,
+	// a Hybrid is not safe for concurrent use — wrap it in the public
+	// package's Engine (or give each goroutine its own instance) for
+	// concurrent matching.
+	results map[resultKey]*Result
 	// SelectionThreshold is the minimum QoM for a pair to be reported as
 	// a correspondence. Default 0.75 — above the 0.7 floor that two
 	// same-typed but semantically unrelated leaves reach on structural
@@ -50,21 +53,26 @@ func NewHybrid(th *lingo.Thesaurus) *Hybrid {
 // Name implements match.Algorithm.
 func (h *Hybrid) Name() string { return "hybrid" }
 
-// ResetCache drops the memoized pair table. Timing harnesses call this
-// between repetitions so each measurement covers a full computation.
-func (h *Hybrid) ResetCache() {
-	h.lastSrc, h.lastTgt, h.lastResult = nil, nil, nil
-}
+// resultKey identifies one memoized pair table by tree identity.
+type resultKey struct{ src, tgt *xmltree.Node }
 
-// tree returns the pair table for src/tgt, reusing the previous result
+// ResetCache drops the memoized pair tables. Timing harnesses call this
+// between repetitions so each measurement covers a full computation.
+func (h *Hybrid) ResetCache() { h.results = nil }
+
+// tree returns the pair table for src/tgt, reusing the memoized result
 // when the same pointers are matched again. Callers must not mutate the
 // trees between calls.
 func (h *Hybrid) tree(src, tgt *xmltree.Node) *Result {
-	if h.lastResult != nil && h.lastSrc == src && h.lastTgt == tgt {
-		return h.lastResult
+	key := resultKey{src, tgt}
+	if res, ok := h.results[key]; ok {
+		return res
 	}
 	res := h.Tree(src, tgt)
-	h.lastSrc, h.lastTgt, h.lastResult = src, tgt, res
+	if h.results == nil {
+		h.results = make(map[resultKey]*Result)
+	}
+	h.results[key] = res
 	return res
 }
 

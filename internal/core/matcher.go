@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"qmatch/internal/lingo"
 	"qmatch/internal/xmltree"
@@ -26,7 +28,18 @@ type Matcher struct {
 	Threshold float64
 	// Names is the pluggable linguistic algorithm for the label axis.
 	Names *lingo.NameMatcher
+	// Parallelism bounds the worker pool that fills the QoM pair table.
+	// 1 (and 0, the default) computes the table sequentially on the
+	// calling goroutine; n > 1 allows up to n workers; negative values
+	// select GOMAXPROCS. Parallel and sequential computation produce
+	// bit-identical tables — every cell is a pure function of the cells
+	// of strictly smaller source subtrees, so only the schedule changes.
+	Parallelism int
 }
+
+// parallelCutoff is the minimum pair-table size (cells) worth fanning out;
+// below it goroutine startup dominates the saved work.
+const parallelCutoff = 4096
 
 // NewMatcher returns a QMatch matcher with the paper's Table 2 weights,
 // threshold 0.5, and a linguistic matcher over the given thesaurus (nil
@@ -103,27 +116,120 @@ type PairQoM struct {
 // Tree matches the source tree against the target tree, computing the QoM
 // of every node pair (including pairs at different relative depths, as in
 // the paper's PurchaseInfo vs Purchase Order example) and returns the
-// complete result.
+// complete result. With Parallelism beyond 1 and a table large enough to
+// be worth it, the computation fans out over a bounded worker pool (see
+// treeParallel); the resulting table is bit-identical to the sequential
+// one.
 func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 	r := newResult(src, tgt)
 	w := m.Weights.Normalized()
-	for _, s := range r.srcNodes {
-		for _, t := range r.tgtNodes {
-			m.pair(r, w, s, t)
+	if par := m.parallelism(); par > 1 && len(r.table) >= parallelCutoff {
+		m.treeParallel(r, w, par)
+	} else {
+		tw := &treeWorker{m: m, names: m.Names, r: r, w: w}
+		for _, s := range r.srcNodes {
+			for _, t := range r.tgtNodes {
+				tw.pair(s, t)
+			}
 		}
 	}
 	r.Root = r.table[r.cell(src, tgt)]
 	return r
 }
 
+// parallelism resolves the effective worker bound.
+func (m *Matcher) parallelism() int {
+	switch {
+	case m.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case m.Parallelism == 0:
+		return 1
+	default:
+		return m.Parallelism
+	}
+}
+
+// treeParallel fills the pair table bottom-up over source-subtree height.
+// The QoM of (s, t) depends only on pairs whose source is a child of s —
+// a strictly smaller subtree — so all rows of one height level are
+// independent of each other and are fanned out across the worker pool;
+// a barrier between levels makes every lower level's cells visible before
+// the next level reads them. Within a level each worker writes only the
+// rows it owns. Workers score labels through clones of m.Names: the
+// thesaurus is shared read-only, the memo caches are per-worker.
+func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
+	// Group source nodes by subtree height, ascending. srcNodes is in
+	// pre-order, so children follow parents and a reverse sweep sees
+	// every child before its parent.
+	heights := make([]int, len(r.srcNodes))
+	maxH := 0
+	for i := len(r.srcNodes) - 1; i >= 0; i-- {
+		h := 0
+		for _, c := range r.srcNodes[i].Children {
+			if ch := heights[r.srcIdx[c]] + 1; ch > h {
+				h = ch
+			}
+		}
+		heights[i] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	levels := make([][]*xmltree.Node, maxH+1)
+	for i, n := range r.srcNodes {
+		levels[heights[i]] = append(levels[heights[i]], n)
+	}
+
+	workers := make([]*treeWorker, par)
+	for i := range workers {
+		workers[i] = &treeWorker{m: m, names: m.Names.Clone(), r: r, w: w}
+	}
+	for _, level := range levels {
+		n := len(workers)
+		if n > len(level) {
+			n = len(level)
+		}
+		jobs := make(chan *xmltree.Node, len(level))
+		for _, s := range level {
+			jobs <- s
+		}
+		close(jobs)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			tw := workers[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range jobs {
+					for _, t := range r.tgtNodes {
+						tw.pair(s, t)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
 // MatchNodes computes the QoM of a single subtree pair.
 func (m *Matcher) MatchNodes(s, t *xmltree.Node) QoM {
 	r := newResult(s, t)
-	return m.pair(r, m.Weights.Normalized(), s, t)
+	tw := &treeWorker{m: m, names: m.Names, r: r, w: m.Weights.Normalized()}
+	return tw.pair(s, t)
+}
+
+// treeWorker computes pair-table cells with a dedicated NameMatcher, so
+// several workers can fill disjoint rows of one Result concurrently.
+type treeWorker struct {
+	m     *Matcher
+	names *lingo.NameMatcher
+	r     *Result
+	w     AxisWeights
 }
 
 // pair computes (or returns the memoized) QoM of one node pair.
-func (m *Matcher) pair(r *Result, w AxisWeights, s, t *xmltree.Node) QoM {
+func (tw *treeWorker) pair(s, t *xmltree.Node) QoM {
+	r := tw.r
 	idx := r.cell(s, t)
 	if r.done[idx] {
 		return r.table[idx]
@@ -134,7 +240,7 @@ func (m *Matcher) pair(r *Result, w AxisWeights, s, t *xmltree.Node) QoM {
 	r.done[idx] = true
 
 	var q QoM
-	q.Label, q.LabelKind = m.Names.Match(s.Label, t.Label)
+	q.Label, q.LabelKind = tw.names.Match(s.Label, t.Label)
 	pq := MatchProperties(s.Props, t.Props)
 	q.Properties, q.PropertiesKind = pq.Score, pq.Kind
 
@@ -175,19 +281,19 @@ func (m *Matcher) pair(r *Result, w AxisWeights, s, t *xmltree.Node) QoM {
 		for _, cs := range s.Children {
 			var best QoM
 			for _, ct := range t.Children {
-				cq := m.pair(r, w, cs, ct)
+				cq := tw.pair(cs, ct)
 				if cq.Value > best.Value {
 					best = cq
 				}
 			}
 			if !cs.IsLeaf() {
-				if cq := m.pair(r, w, cs, t); cq.Value > best.Value {
+				if cq := tw.pair(cs, t); cq.Value > best.Value {
 					best = cq
 				}
 			}
 			// Epsilon guards the common case of a child sitting
 			// exactly at the threshold under inexact float sums.
-			if best.Value >= m.Threshold-1e-9 {
+			if best.Value >= tw.m.Threshold-1e-9 {
 				sum += best.Value
 				count++
 				if best.Class != NoMatch {
@@ -212,8 +318,8 @@ func (m *Matcher) pair(r *Result, w AxisWeights, s, t *xmltree.Node) QoM {
 		q.ChildrenAllExact = allExact && covered > 0
 	}
 
-	q.Value = w.Label*q.Label + w.Properties*q.Properties +
-		w.Level*q.Level + w.Children*q.Children
+	q.Value = tw.w.Label*q.Label + tw.w.Properties*q.Properties +
+		tw.w.Level*q.Level + tw.w.Children*q.Children
 	q.classify()
 
 	r.table[idx] = q

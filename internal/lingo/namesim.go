@@ -62,6 +62,17 @@ type tokenScore struct {
 	exact bool
 }
 
+// Clone returns a NameMatcher with the same thesaurus and tuning but
+// fresh, empty memo caches. Workers that score labels concurrently each
+// take a clone — the Thesaurus is shared read-only, the caches are not.
+func (m *NameMatcher) Clone() *NameMatcher {
+	c := *m
+	c.tokens = map[string][]string{}
+	c.normed = map[string]string{}
+	c.tokenSims = map[[2]string]tokenScore{}
+	return &c
+}
+
 // NewNameMatcher returns a NameMatcher with the default tuning over the
 // given thesaurus (nil selects an empty thesaurus, disabling semantic
 // relations but keeping string similarity).

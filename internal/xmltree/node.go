@@ -9,9 +9,15 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Node is a single element or attribute in a schema tree.
+//
+// A fully built tree is safe for concurrent *read* access from any number
+// of goroutines: the lazily computed level and path caches are maintained
+// with atomics, so matchers may share one tree across workers. Mutating a
+// tree (Add) while another goroutine reads it is not safe.
 type Node struct {
 	// Label is the element or attribute name as written in the schema.
 	Label string
@@ -23,8 +29,8 @@ type Node struct {
 	Children []*Node
 
 	parent *Node
-	level  int
-	path   string
+	level  atomic.Int32
+	path   atomic.Pointer[string]
 }
 
 // New returns a leaf node with the given label and properties.
@@ -73,39 +79,46 @@ func (n *Node) Root() *Node {
 	return r
 }
 
-// Level returns the depth of n from its root; a root has level 0. Levels are
-// computed lazily and cached; Add invalidates the cache for the whole tree.
+// Level returns the depth of n from its root; a root has level 0. Levels
+// are computed lazily and cached with atomics, so concurrent readers of a
+// finished tree may race to fill the cache but always store the same value.
+// Add invalidates the cache for the whole tree.
 func (n *Node) Level() int {
 	if n.parent == nil {
 		return 0
 	}
-	if n.level == 0 {
-		n.level = n.parent.Level() + 1
+	if l := n.level.Load(); l != 0 {
+		return int(l)
 	}
-	return n.level
+	l := int32(n.parent.Level() + 1)
+	n.level.Store(l)
+	return int(l)
 }
 
 // Path returns the slash-separated label path from the root to n, e.g.
 // "PO/PurchaseInfo/Lines/Quantity". Paths identify nodes in correspondences
-// and gold standards.
+// and gold standards. Like Level, the cache is atomic: concurrent readers
+// compute equal strings and either store wins.
 func (n *Node) Path() string {
-	if n.path != "" {
-		return n.path
+	if p := n.path.Load(); p != nil {
+		return *p
 	}
+	var p string
 	if n.parent == nil {
-		n.path = n.Label
+		p = n.Label
 	} else {
-		n.path = n.parent.Path() + "/" + n.Label
+		p = n.parent.Path() + "/" + n.Label
 	}
-	return n.path
+	n.path.Store(&p)
+	return p
 }
 
 // invalidate clears cached levels and paths below n after mutation.
 func (n *Node) invalidate() {
 	n.Walk(func(d *Node) bool {
-		d.path = ""
+		d.path.Store(nil)
 		if d.parent != nil {
-			d.level = 0
+			d.level.Store(0)
 		}
 		return true
 	})

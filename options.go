@@ -4,16 +4,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"qmatch/internal/core"
-	"qmatch/internal/cupid"
 	"qmatch/internal/lingo"
-	"qmatch/internal/linguistic"
-	"qmatch/internal/match"
-	"qmatch/internal/structural"
 )
 
-// Option configures a Match or QoM call.
+// Option configures an Engine (and therefore a Match or QoM call, which
+// run on a throwaway Engine).
 type Option func(*config)
 
 // Algorithm selects which matcher a Match call runs.
@@ -28,13 +26,40 @@ const (
 	Cupid      Algorithm = "cupid"
 )
 
+// ParseAlgorithm parses an algorithm name, case-insensitively and ignoring
+// surrounding whitespace. It is the one place algorithm names are decoded —
+// JSON configs and the command-line tools all resolve names through it.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch a := Algorithm(strings.ToLower(strings.TrimSpace(s))); a {
+	case Hybrid, Linguistic, Structural, Cupid:
+		return a, nil
+	default:
+		return "", fmt.Errorf("qmatch: unknown algorithm %q (want %s, %s, %s or %s)",
+			s, Hybrid, Linguistic, Structural, Cupid)
+	}
+}
+
 // Weights are the axis weights of the QoM model (label, properties, level,
-// children). The zero value selects the paper's Table 2 defaults.
+// children). Weights are normalized to sum to 1 when a match runs; at
+// least one component must be positive and none may be negative — Engine
+// construction rejects all-zero or negative weights.
 type Weights struct {
 	Label      float64
 	Properties float64
 	Level      float64
 	Children   float64
+}
+
+// validate rejects weight vectors the QoM model cannot interpret: a
+// negative component, or all components zero (nothing to normalize).
+func (w Weights) validate() error {
+	if w.Label < 0 || w.Properties < 0 || w.Level < 0 || w.Children < 0 {
+		return fmt.Errorf("qmatch: invalid weights %+v: negative component", w)
+	}
+	if w.Label == 0 && w.Properties == 0 && w.Level == 0 && w.Children == 0 {
+		return fmt.Errorf("qmatch: invalid weights: all components zero")
+	}
+	return nil
 }
 
 // Thesaurus collects custom linguistic relations to merge on top of the
@@ -88,15 +113,39 @@ func LoadThesaurusFile(path string) (*Thesaurus, error) {
 
 type config struct {
 	alg                Algorithm
-	weights            *core.AxisWeights
+	weights            *Weights
 	childThreshold     *float64
 	selectionThreshold *float64
 	custom             *Thesaurus
 	noBuiltin          bool
+	parallelism        int
 }
 
 func newConfig() *config {
 	return &config{alg: Hybrid}
+}
+
+// validate checks the resolved option set; NewEngine surfaces the error,
+// Match and friends panic with it.
+func (c *config) validate() error {
+	if _, err := ParseAlgorithm(string(c.alg)); err != nil {
+		return err
+	}
+	if c.weights != nil {
+		if err := c.weights.validate(); err != nil {
+			return err
+		}
+	}
+	if c.childThreshold != nil && (*c.childThreshold < 0 || *c.childThreshold > 1) {
+		return fmt.Errorf("qmatch: child threshold %v outside [0,1]", *c.childThreshold)
+	}
+	if c.selectionThreshold != nil && (*c.selectionThreshold < 0 || *c.selectionThreshold > 1) {
+		return fmt.Errorf("qmatch: selection threshold %v outside [0,1]", *c.selectionThreshold)
+	}
+	if c.parallelism < 0 {
+		return fmt.Errorf("qmatch: negative parallelism %d", c.parallelism)
+	}
+	return nil
 }
 
 // WithAlgorithm selects the matcher: Hybrid (default), Linguistic or
@@ -106,15 +155,21 @@ func WithAlgorithm(a Algorithm) Option {
 }
 
 // WithWeights overrides the QoM axis weights (hybrid algorithm only).
-// Weights are normalized to sum to 1.
+// Weights are normalized to sum to 1. A weight vector with a negative
+// component, or with every component zero, is rejected when the Engine is
+// built (NewEngine returns the error; Match panics with it).
 func WithWeights(w Weights) Option {
-	return func(c *config) {
-		aw := core.AxisWeights{
-			Label: w.Label, Properties: w.Properties,
-			Level: w.Level, Children: w.Children,
-		}
-		c.weights = &aw
-	}
+	return func(c *config) { c.weights = &w }
+}
+
+// WithParallelism bounds the worker pool an Engine uses: the inner QoM
+// pair-table computation of a single large match, and the fan-out of
+// MatchAll and Rank across schema pairs, together never exceed n workers.
+// 0 (the default) derives the bound from GOMAXPROCS; 1 forces fully
+// sequential matching; negative values are rejected at Engine
+// construction.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
 }
 
 // WithChildThreshold overrides the Fig. 3 threshold gating which child
@@ -142,7 +197,9 @@ func WithoutBuiltinThesaurus() Option {
 	return func(c *config) { c.noBuiltin = true }
 }
 
-// thesaurus resolves the effective thesaurus for this configuration.
+// thesaurus resolves the effective thesaurus for this configuration. The
+// result is freshly merged and owned by the caller; an Engine merges it
+// once at construction and shares it read-only afterwards.
 func (c *config) thesaurus() *lingo.Thesaurus {
 	t := lingo.NewThesaurus()
 	if !c.noBuiltin {
@@ -154,43 +211,13 @@ func (c *config) thesaurus() *lingo.Thesaurus {
 	return t
 }
 
-// hybrid builds the configured hybrid matcher.
-func (c *config) hybrid() *core.Hybrid {
-	h := core.NewHybrid(c.thesaurus())
-	if c.weights != nil {
-		h.Weights = *c.weights
+// axisWeights resolves the configured hybrid axis weights.
+func (c *config) axisWeights() core.AxisWeights {
+	if c.weights == nil {
+		return core.DefaultWeights()
 	}
-	if c.childThreshold != nil {
-		h.Threshold = *c.childThreshold
-	}
-	if c.selectionThreshold != nil {
-		h.SelectionThreshold = *c.selectionThreshold
-	}
-	return h
-}
-
-// algorithm builds the configured matcher.
-func (c *config) algorithm() match.Algorithm {
-	switch c.alg {
-	case Linguistic:
-		m := linguistic.New(c.thesaurus())
-		if c.selectionThreshold != nil {
-			m.SelectionThreshold = *c.selectionThreshold
-		}
-		return m
-	case Structural:
-		m := structural.New()
-		if c.selectionThreshold != nil {
-			m.SelectionThreshold = *c.selectionThreshold
-		}
-		return m
-	case Cupid:
-		m := cupid.New(c.thesaurus())
-		if c.selectionThreshold != nil {
-			m.SelectionThreshold = *c.selectionThreshold
-		}
-		return m
-	default:
-		return c.hybrid()
+	return core.AxisWeights{
+		Label: c.weights.Label, Properties: c.weights.Properties,
+		Level: c.weights.Level, Children: c.weights.Children,
 	}
 }

@@ -21,11 +21,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 
 	"qmatch/internal/core"
-	"qmatch/internal/lingo"
 	"qmatch/internal/linguistic"
 	"qmatch/internal/match"
 	"qmatch/internal/structural"
@@ -95,11 +93,13 @@ func (s *Schema) Tree() *xmltree.Node { return s.root }
 // FromTree wraps an existing schema tree.
 func FromTree(root *xmltree.Node) *Schema { return &Schema{root: root} }
 
-// Correspondence is one predicted element mapping.
+// Correspondence is one predicted element mapping. The JSON tags define
+// the stable wire format shared by the command-line tools and services
+// (see DESIGN.md); WriteJSON/ReadReportJSON round-trip it.
 type Correspondence struct {
-	Source string
-	Target string
-	Score  float64
+	Source string  `json:"source"`
+	Target string  `json:"target"`
+	Score  float64 `json:"score"`
 }
 
 // String renders "PO/OrderNo -> PurchaseOrder/OrderNo (0.93)".
@@ -107,44 +107,29 @@ func (c Correspondence) String() string {
 	return fmt.Sprintf("%s -> %s (%.2f)", c.Source, c.Target, c.Score)
 }
 
-// Report is the outcome of matching two schemas.
+// Report is the outcome of matching two schemas. The JSON tags define the
+// stable wire format shared by the command-line tools and services.
 type Report struct {
 	// Algorithm that produced the report ("hybrid", "linguistic",
-	// "structural").
-	Algorithm string
+	// "structural", "cupid").
+	Algorithm string `json:"algorithm"`
 	// Correspondences are the selected one-to-one element mappings,
 	// sorted by descending score.
-	Correspondences []Correspondence
+	Correspondences []Correspondence `json:"correspondences"`
 	// TreeQoM is the overall match value of the two schema roots — the
 	// "total match value presented to the user" of the paper.
-	TreeQoM float64
+	TreeQoM float64 `json:"treeQoM"`
 }
 
 // Match matches the source schema against the target schema with the
 // hybrid QMatch algorithm (or a configured alternative) and returns the
-// report.
+// report. It builds a throwaway Engine per call — services matching
+// repeatedly or concurrently should build one Engine with NewEngine and
+// reuse it. Match panics with the error NewEngine would return when the
+// options are invalid (unknown algorithm, negative or all-zero weights,
+// thresholds outside [0,1], negative parallelism).
 func Match(src, tgt *Schema, opts ...Option) *Report {
-	cfg := newConfig()
-	for _, o := range opts {
-		o(cfg)
-	}
-	alg := cfg.algorithm()
-	cs := alg.Match(src.root, tgt.root)
-	out := make([]Correspondence, len(cs))
-	for i, c := range cs {
-		out[i] = Correspondence{Source: c.Source, Target: c.Target, Score: c.Score}
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Source < out[j].Source
-	})
-	return &Report{
-		Algorithm:       alg.Name(),
-		Correspondences: out,
-		TreeQoM:         alg.TreeScore(src.root, tgt.root),
-	}
+	return mustEngine(opts).Match(src, tgt)
 }
 
 // QoMBreakdown returns the full per-axis QoM of the two schema roots under
@@ -157,31 +142,20 @@ type QoMBreakdown struct {
 	Class                              string
 }
 
-// QoM computes the hybrid QoM breakdown for two schemas.
+// QoM computes the hybrid QoM breakdown for two schemas. Option semantics
+// are identical to Match, including the panic on invalid options.
 func QoM(src, tgt *Schema, opts ...Option) QoMBreakdown {
-	cfg := newConfig()
-	for _, o := range opts {
-		o(cfg)
-	}
-	res := cfg.hybrid().Tree(src.root, tgt.root)
-	q := res.Root
-	return QoMBreakdown{
-		Label:      q.Label,
-		Properties: q.Properties,
-		Level:      q.Level,
-		Children:   q.Children,
-		Value:      q.Value,
-		Class:      q.Class.String(),
-	}
+	return mustEngine(opts).QoM(src, tgt)
 }
 
 // ComplexCorrespondence maps one source element to a combination of
 // sibling target elements (a 1:n split such as Name ↔ FirstName +
-// LastName).
+// LastName). The JSON tags define the stable wire format shared by the
+// command-line tools and services.
 type ComplexCorrespondence struct {
-	Source  string
-	Targets []string
-	Score   float64
+	Source  string   `json:"source"`
+	Targets []string `json:"targets"`
+	Score   float64  `json:"score"`
 }
 
 // String renders "Record/AuthorName -> {FirstName, LastName} (0.95)".
@@ -197,50 +171,27 @@ func (c ComplexCorrespondence) String() string {
 // coverage). Pass the Report of a prior Match call so already-explained
 // elements are excluded; a nil report searches the whole schemas.
 func MatchComplex(src, tgt *Schema, report *Report, opts ...Option) []ComplexCorrespondence {
-	cfg := newConfig()
-	for _, o := range opts {
-		o(cfg)
-	}
-	var matched []match.Correspondence
-	if report != nil {
-		matched = make([]match.Correspondence, len(report.Correspondences))
-		for i, c := range report.Correspondences {
-			matched[i] = match.Correspondence{Source: c.Source, Target: c.Target}
-		}
-	}
-	found := match.FindComplex(src.root, tgt.root, matched, match.ComplexConfig{
-		Names: lingo.NewNameMatcher(cfg.thesaurus()),
-	})
-	out := make([]ComplexCorrespondence, len(found))
-	for i, c := range found {
-		out[i] = ComplexCorrespondence{Source: c.Source, Targets: c.Targets, Score: c.Score}
-	}
-	return out
+	return mustEngine(opts).MatchComplex(src, tgt, report)
 }
 
 // ExplainTop returns human-readable derivations of the n best pairs' QoM
 // under the hybrid model: per-axis scores and kinds, weighted
 // contributions, and the per-child best matches behind the children axis.
 func ExplainTop(src, tgt *Schema, n int, opts ...Option) string {
-	cfg := newConfig()
-	for _, o := range opts {
-		o(cfg)
-	}
-	h := cfg.hybrid()
-	res := h.Tree(src.root, tgt.root)
-	return h.Matcher.ExplainTop(res, n)
+	return mustEngine(opts).ExplainTop(src, tgt, n)
 }
 
 // Evaluation mirrors the paper's match-quality measures for a report
-// against a reference mapping.
+// against a reference mapping. The JSON tags define the stable wire
+// format shared by the command-line tools and services.
 type Evaluation struct {
-	TruePositives  int
-	FalsePositives int
-	Missed         int
-	Precision      float64
-	Recall         float64
-	Overall        float64
-	F1             float64
+	TruePositives  int     `json:"truePositives"`
+	FalsePositives int     `json:"falsePositives"`
+	Missed         int     `json:"missed"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	Overall        float64 `json:"overall"`
+	F1             float64 `json:"f1"`
 }
 
 // Evaluate scores a report against the real matches, given as

@@ -1,75 +1,24 @@
 package qmatch
 
-import (
-	"runtime"
-	"sort"
-	"sync"
-)
-
 // Ranked is one corpus schema scored against a query schema.
 type Ranked struct {
 	// Index is the schema's position in the input corpus.
-	Index int
+	Index int `json:"index"`
 	// Schema is the corpus schema.
-	Schema *Schema
+	Schema *Schema `json:"-"`
 	// Score is the query→schema tree QoM.
-	Score float64
+	Score float64 `json:"score"`
 	// Correspondences are the element mappings found for this schema.
-	Correspondences []Correspondence
+	Correspondences []Correspondence `json:"correspondences"`
 }
 
 // Rank matches one query schema against every schema of a corpus
 // concurrently and returns the corpus sorted by descending overall match
 // value — the paper's motivating scenario of locating, among many
 // heterogeneous web documents, those whose schema best matches a query
-// schema (§1). Each worker uses its own matcher instance (the linguistic
-// caches are not safe for sharing), so Rank is safe to call from any
-// goroutine. Option semantics are identical to Match.
+// schema (§1). It builds a throwaway Engine per call; callers ranking
+// repeatedly should build one Engine and use Engine.Rank. Option semantics
+// are identical to Match, including the panic on invalid options.
 func Rank(query *Schema, corpus []*Schema, opts ...Option) []Ranked {
-	out := make([]Ranked, len(corpus))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(corpus) {
-		workers = len(corpus)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Per-worker configuration: matcher state (caches, pair
-			// tables) must not be shared across goroutines.
-			cfg := newConfig()
-			for _, o := range opts {
-				o(cfg)
-			}
-			alg := cfg.algorithm()
-			for i := range jobs {
-				tgt := corpus[i]
-				cs := alg.Match(query.root, tgt.root)
-				r := Ranked{Index: i, Schema: tgt, Score: alg.TreeScore(query.root, tgt.root)}
-				r.Correspondences = make([]Correspondence, len(cs))
-				for j, c := range cs {
-					r.Correspondences[j] = Correspondence{Source: c.Source, Target: c.Target, Score: c.Score}
-				}
-				out[i] = r
-			}
-		}()
-	}
-	for i := range corpus {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Index < out[j].Index
-	})
-	return out
+	return mustEngine(opts).Rank(query, corpus)
 }
