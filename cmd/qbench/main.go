@@ -16,9 +16,16 @@
 //	qbench -ext composite     # extension: QMatch vs CUPID vs composite
 //	qbench -ext instances     # extension: instance evidence under renames
 //	qbench -ext parallel      # extension: MatchAll batch scaling vs workers
+//	qbench -ext pairtable     # extension: pair-table fill vs interned pairs
 //	qbench -reps N         # repetitions for runtime measurements (default 3)
 //	qbench -fast           # skip the slow experiments (Figure 4's protein
 //	                       # workload and the full Table 2 sweep)
+//	qbench -json FILE      # with -ext pairtable: also write rows as JSON
+//	qbench -cpuprofile FILE   # write a CPU profile of the run
+//	qbench -memprofile FILE   # write a heap profile at the end of the run
+//
+// The profiling flags turn any experiment into a profiling target for the
+// matcher itself — see README.md "Profiling the matcher".
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"qmatch/internal/bench"
@@ -46,9 +55,18 @@ func run(args []string, out io.Writer) error {
 	ext := fs.String("ext", "", "extension experiment: scalability, robustness or ablation")
 	reps := fs.Int("reps", 3, "repetitions for runtime measurements")
 	fast := fs.Bool("fast", false, "skip the slowest experiments")
+	jsonOut := fs.String("json", "", "with -ext pairtable: also write the rows as JSON to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	if *ext != "" {
 		switch *ext {
@@ -85,6 +103,26 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, bench.FormatParallel(rows))
+		case "pairtable":
+			pairs := dataset.Pairs()
+			if *fast {
+				pairs = pairs[:3] // drop the 3984-element protein workload
+			}
+			rows := bench.PairTableFor(pairs, *reps)
+			fmt.Fprint(out, bench.FormatPairTable(rows))
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					return err
+				}
+				if err := bench.WritePairTableJSON(f, rows); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("unknown extension %q", *ext)
 		}
@@ -164,4 +202,44 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown figure %d", *figure)
 	}
 	return nil
+}
+
+// startProfiles begins CPU profiling and arranges the heap profile, per the
+// given file paths (either may be empty). The returned stop function ends
+// the CPU profile and snapshots the heap; profile write failures at stop
+// time are reported on stderr since the experiment itself already ran.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "qbench: cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qbench: heap profile:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the snapshot reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qbench: heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "qbench: heap profile:", err)
+			}
+		}
+	}, nil
 }

@@ -35,7 +35,27 @@ type Engine struct {
 	weights     core.AxisWeights
 	thesaurus   *lingo.Thesaurus
 	names       *lingo.MatcherPool
+	labels      *lingo.ScoreCache
 	parallelism int
+}
+
+// CacheStats is a snapshot of the Engine's shared label-score cache: the
+// cross-match memo that scores each unique label pair once per Engine
+// lifetime. Hits+Misses counts lookups during kernel fills; Entries is the
+// resident pair count; Evictions counts entries dropped to honor the
+// WithLabelCacheSize bound.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int64 `json:"entries"`
+	Evictions int64 `json:"evictions"`
+}
+
+// CacheStats returns the current label-score cache counters. Safe to call
+// concurrently with matching; the snapshot may lag in-flight fills.
+func (e *Engine) CacheStats() CacheStats {
+	s := e.labels.Stats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Evictions: s.Evictions}
 }
 
 // NewEngine compiles the options into a reusable, goroutine-safe Engine.
@@ -56,6 +76,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		weights:     cfg.axisWeights(),
 		thesaurus:   th,
 		names:       lingo.NewMatcherPool(th),
+		labels:      lingo.NewScoreCache(cfg.labelCacheSize),
 		parallelism: cfg.parallelism,
 	}
 	if e.parallelism == 0 {
@@ -122,6 +143,9 @@ func (e *Engine) hybrid(inner int) (*core.Hybrid, func()) {
 	h.Matcher.Names = e.names.Get()
 	h.Matcher.Weights = e.weights
 	h.Matcher.Parallelism = inner
+	// Every hybrid matcher of this Engine shares one label-score cache —
+	// sound because the Engine froze the thesaurus and tuning.
+	h.Matcher.Scores = e.labels
 	if e.cfg.childThreshold != nil {
 		h.Threshold = *e.cfg.childThreshold
 	}

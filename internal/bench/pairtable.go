@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"qmatch/internal/core"
+	"qmatch/internal/dataset"
+	"qmatch/internal/xmltree"
+)
+
+// PairTableRow is one workload of the pair-table fill benchmark: the raw
+// table dimensions, the interned vocabulary sizes that bound the linguistic
+// work (DESIGN.md §5.1), and the best wall-clock fill time. Cells is n·m;
+// LinguisticPairs is |Lₛ|·|Lₜ| — the number of label pairs the kernel
+// actually scores. The two columns side by side show how far vocabulary
+// reuse compresses the hot loop on each workload.
+type PairTableRow struct {
+	Workload        string  `json:"workload"`
+	SourceNodes     int     `json:"source_nodes"`
+	TargetNodes     int     `json:"target_nodes"`
+	Cells           int     `json:"cells"`
+	SourceLabels    int     `json:"source_labels"`
+	TargetLabels    int     `json:"target_labels"`
+	LinguisticPairs int     `json:"linguistic_pairs"`
+	BestMS          float64 `json:"best_ms"`
+
+	Best time.Duration `json:"-"`
+}
+
+// PairTable measures the full hybrid pair-table fill on every corpus
+// workload; each row is the best of reps runs.
+func PairTable(reps int) []PairTableRow {
+	return PairTableFor(dataset.Pairs(), reps)
+}
+
+// PairTableFor measures the given workloads only (e.g. dropping the protein
+// pair for a quick pass). Each repetition builds a fresh matcher so the
+// measurement always covers cold name-matcher memo caches.
+func PairTableFor(pairs []dataset.Pair, reps int) []PairTableRow {
+	if reps < 1 {
+		reps = 1
+	}
+	rows := make([]PairTableRow, 0, len(pairs))
+	for _, p := range pairs {
+		src, tgt := p.Source.Nodes(), p.Target.Nodes()
+		row := PairTableRow{
+			Workload:     p.Name,
+			SourceNodes:  len(src),
+			TargetNodes:  len(tgt),
+			Cells:        len(src) * len(tgt),
+			SourceLabels: uniqueLabels(src),
+			TargetLabels: uniqueLabels(tgt),
+		}
+		row.LinguisticPairs = row.SourceLabels * row.TargetLabels
+		for i := 0; i < reps; i++ {
+			m := core.NewMatcher(nil)
+			start := time.Now()
+			m.Tree(p.Source, p.Target)
+			if d := time.Since(start); row.Best == 0 || d < row.Best {
+				row.Best = d
+			}
+		}
+		row.BestMS = float64(row.Best) / float64(time.Millisecond)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// uniqueLabels counts the distinct labels of a node list — the size of the
+// vocabulary the similarity kernel interns.
+func uniqueLabels(nodes []*xmltree.Node) int {
+	seen := make(map[string]struct{}, len(nodes))
+	for _, n := range nodes {
+		seen[n.Label] = struct{}{}
+	}
+	return len(seen)
+}
+
+// FormatPairTable renders the rows.
+func FormatPairTable(rows []PairTableRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: pair-table fill (cells vs interned linguistic pairs)\n")
+	fmt.Fprintf(&b, "%-14s %7s %7s %9s %7s %7s %10s %12s\n",
+		"Workload", "SrcN", "TgtN", "Cells", "SrcL", "TgtL", "LingPairs", "Best")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %7d %7d %9d %7d %7d %10d %12s\n",
+			r.Workload, r.SourceNodes, r.TargetNodes, r.Cells,
+			r.SourceLabels, r.TargetLabels, r.LinguisticPairs, r.Best)
+	}
+	return b.String()
+}
+
+// WritePairTableJSON writes the rows as indented JSON — the machine-readable
+// artifact (BENCH_pairtable.json) the CI benchmark smoke step emits. The
+// output is deterministic apart from the timings themselves: fixed key
+// order, no timestamps or environment capture.
+func WritePairTableJSON(w io.Writer, rows []PairTableRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

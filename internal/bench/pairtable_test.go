@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qmatch/internal/dataset"
+)
+
+func TestPairTableRows(t *testing.T) {
+	pairs := []dataset.Pair{dataset.POPair(), dataset.DCMDPair()}
+	rows := PairTableFor(pairs, 1)
+	if len(rows) != len(pairs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(pairs))
+	}
+	for i, r := range rows {
+		if r.Workload != pairs[i].Name {
+			t.Errorf("row %d workload = %q, want %q", i, r.Workload, pairs[i].Name)
+		}
+		if r.Cells != r.SourceNodes*r.TargetNodes {
+			t.Errorf("%s: cells = %d, want %d×%d", r.Workload, r.Cells, r.SourceNodes, r.TargetNodes)
+		}
+		if r.LinguisticPairs != r.SourceLabels*r.TargetLabels {
+			t.Errorf("%s: linguistic pairs = %d, want %d×%d",
+				r.Workload, r.LinguisticPairs, r.SourceLabels, r.TargetLabels)
+		}
+		// Interning can only shrink the vocabulary, never grow it.
+		if r.SourceLabels > r.SourceNodes || r.TargetLabels > r.TargetNodes {
+			t.Errorf("%s: more labels than nodes: %+v", r.Workload, r)
+		}
+		if r.Best <= 0 || r.BestMS <= 0 {
+			t.Errorf("%s: no timing recorded: %+v", r.Workload, r)
+		}
+	}
+	text := FormatPairTable(rows)
+	for _, p := range pairs {
+		if !strings.Contains(text, p.Name) {
+			t.Errorf("formatted table lacks workload %q:\n%s", p.Name, text)
+		}
+	}
+}
+
+func TestPairTableJSON(t *testing.T) {
+	rows := PairTableFor([]dataset.Pair{dataset.POPair()}, 1)
+	var buf bytes.Buffer
+	if err := WritePairTableJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []PairTableRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(back) != 1 || back[0].Workload != "PO" || back[0].Cells != rows[0].Cells {
+		t.Fatalf("round-trip = %+v, want %+v", back, rows)
+	}
+	if strings.Contains(buf.String(), "time") || strings.Contains(buf.String(), "date") {
+		t.Fatalf("JSON should carry no timestamps:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"sync"
+
+	"qmatch/internal/lingo"
+	"qmatch/internal/xmltree"
+)
+
+// This file implements the vocabulary-interned similarity kernel. The
+// hybrid fill (Fig. 3) needs a label score and a property score for every
+// pair-table cell — n·m linguistic comparisons on the naive path, 867k on
+// the corpus' largest workload (231×3753 nodes). But schema vocabularies
+// are tiny compared to schema trees: labels and property sets repeat
+// heavily (the protein schemas reuse a few dozen element names thousands
+// of times). The kernel interns both vocabularies at match entry, scores
+// each unique (label, label) and (propset, propset) combination exactly
+// once into dense matrices, and turns the per-cell axis work of
+// treeWorker.pair into two array lookups. The linguistic cost of a match
+// drops from O(n·m) to O(|Lₛ|·|Lₜ|) (see DESIGN.md §5.9).
+
+// labelCell is one precomputed label-axis outcome.
+type labelCell struct {
+	score float64
+	kind  lingo.Kind
+}
+
+// simKernel holds the interned vocabularies and score matrices of one
+// pair-table computation. All fields are written during the fill phase and
+// read-only afterwards, so pair-table workers share a kernel freely.
+type simKernel struct {
+	// Node pre-order index → dense vocabulary id.
+	srcLabelID, tgtLabelID []int32
+	srcPropID, tgtPropID   []int32
+	// Dense id → vocabulary entry.
+	srcLabels, tgtLabels []string
+	srcProps, tgtProps   []xmltree.Properties
+	// Score matrices, indexed [srcID*|Tgt|+tgtID].
+	labels []labelCell
+	props  []PropertyQoM
+}
+
+// newKernel interns the label and property vocabularies of both node lists
+// and allocates the (unfilled) score matrices.
+func newKernel(srcNodes, tgtNodes []*xmltree.Node) *simKernel {
+	k := &simKernel{}
+	k.srcLabelID, k.srcLabels = internLabels(srcNodes)
+	k.tgtLabelID, k.tgtLabels = internLabels(tgtNodes)
+	k.srcPropID, k.srcProps = internProps(srcNodes)
+	k.tgtPropID, k.tgtProps = internProps(tgtNodes)
+	k.labels = make([]labelCell, len(k.srcLabels)*len(k.tgtLabels))
+	k.props = make([]PropertyQoM, len(k.srcProps)*len(k.tgtProps))
+	return k
+}
+
+// internLabels assigns dense ids to the distinct labels of a node list, in
+// first-appearance (pre-order) order.
+func internLabels(nodes []*xmltree.Node) ([]int32, []string) {
+	ids := make([]int32, len(nodes))
+	uniq := make([]string, 0, 64)
+	index := make(map[string]int32, 64)
+	for i, n := range nodes {
+		id, ok := index[n.Label]
+		if !ok {
+			id = int32(len(uniq))
+			uniq = append(uniq, n.Label)
+			index[n.Label] = id
+		}
+		ids[i] = id
+	}
+	return ids, uniq
+}
+
+// internProps assigns dense ids to the distinct property sets of a node
+// list. Sets are canonicalized with Norm first — MatchProperties begins by
+// norming both sides, so two sets equal after Norm always score alike.
+func internProps(nodes []*xmltree.Node) ([]int32, []xmltree.Properties) {
+	ids := make([]int32, len(nodes))
+	uniq := make([]xmltree.Properties, 0, 32)
+	index := make(map[xmltree.Properties]int32, 32)
+	for i, n := range nodes {
+		p := n.Props.Norm()
+		id, ok := index[p]
+		if !ok {
+			id = int32(len(uniq))
+			uniq = append(uniq, p)
+			index[p] = id
+		}
+		ids[i] = id
+	}
+	return ids, uniq
+}
+
+// labelAt returns the label-axis outcome for the pair of nodes at source
+// pre-order index i and target pre-order index j.
+func (k *simKernel) labelAt(i, j int) labelCell {
+	return k.labels[int(k.srcLabelID[i])*len(k.tgtLabels)+int(k.tgtLabelID[j])]
+}
+
+// propAt is labelAt for the property axis.
+func (k *simKernel) propAt(i, j int) PropertyQoM {
+	return k.props[int(k.srcPropID[i])*len(k.tgtProps)+int(k.tgtPropID[j])]
+}
+
+// fillLabelRows scores rows [lo, hi) of the label matrix, consulting (and
+// feeding) the shared cross-match cache when one is attached.
+func (k *simKernel) fillLabelRows(names *lingo.NameMatcher, cache *lingo.ScoreCache, lo, hi int) {
+	nt := len(k.tgtLabels)
+	for i := lo; i < hi; i++ {
+		sl := k.srcLabels[i]
+		row := k.labels[i*nt : (i+1)*nt]
+		for j, tl := range k.tgtLabels {
+			if cache != nil {
+				if ls, ok := cache.Get(sl, tl); ok {
+					row[j] = labelCell{score: ls.Score, kind: ls.Kind}
+					continue
+				}
+			}
+			s, kind := names.Match(sl, tl)
+			row[j] = labelCell{score: s, kind: kind}
+			if cache != nil {
+				cache.Put(sl, tl, lingo.LabelScore{Score: s, Kind: kind})
+			}
+		}
+	}
+}
+
+// fillPropRows scores rows [lo, hi) of the property matrix.
+func (k *simKernel) fillPropRows(lo, hi int) {
+	nt := len(k.tgtProps)
+	for i := lo; i < hi; i++ {
+		sp := k.srcProps[i]
+		row := k.props[i*nt : (i+1)*nt]
+		for j, tp := range k.tgtProps {
+			row[j] = MatchProperties(sp, tp)
+		}
+	}
+}
+
+// fill computes both matrices on the calling goroutine.
+func (k *simKernel) fill(names *lingo.NameMatcher, cache *lingo.ScoreCache) {
+	k.fillLabelRows(names, cache, 0, len(k.srcLabels))
+	k.fillPropRows(0, len(k.srcProps))
+}
+
+// fillParallel fans the matrix rows across the pair-table worker pool
+// (each worker scores labels through its own NameMatcher clone). Rows are
+// independent, so no ordering is needed beyond the final barrier; the
+// result is bit-identical to a sequential fill because every cell is a
+// pure function of its two vocabulary entries.
+func (k *simKernel) fillParallel(workers []*treeWorker, cache *lingo.ScoreCache) {
+	labelRows := make(chan int, len(k.srcLabels))
+	for i := range k.srcLabels {
+		labelRows <- i
+	}
+	close(labelRows)
+	propRows := make(chan int, len(k.srcProps))
+	for i := range k.srcProps {
+		propRows <- i
+	}
+	close(propRows)
+
+	var wg sync.WaitGroup
+	for _, tw := range workers {
+		tw := tw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range labelRows {
+				k.fillLabelRows(tw.names, cache, i, i+1)
+			}
+			for i := range propRows {
+				k.fillPropRows(i, i+1)
+			}
+		}()
+	}
+	wg.Wait()
+}

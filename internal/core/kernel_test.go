@@ -1,0 +1,147 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/lingo"
+	"qmatch/internal/xmltree"
+)
+
+// tableOf recomputes a pair table with the given matcher and returns the
+// raw dense table for bit-identical comparison.
+func tableOf(m *Matcher, src, tgt *xmltree.Node) []QoM {
+	return m.Tree(src, tgt).table
+}
+
+// The interned kernel must not change a single bit of any pair table: every
+// corpus workload scores identically with the kernel on (default), off
+// (the direct-scoring reference path) and with a shared score cache
+// attached.
+func TestKernelEquivalence(t *testing.T) {
+	pairs := []dataset.Pair{
+		dataset.POPair(), dataset.BookPair(), dataset.DCMDPair(),
+		dataset.XBenchPair(), dataset.LibraryHumanPair(),
+	}
+	if !testing.Short() {
+		pairs = append(pairs, dataset.ProteinPair())
+	}
+	for _, p := range pairs {
+		ref := NewMatcher(nil)
+		ref.noKernel = true
+		want := tableOf(ref, p.Source, p.Target)
+
+		kern := NewMatcher(nil)
+		if got := tableOf(kern, p.Source, p.Target); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: kernel table differs from direct-scoring table", p.Name)
+		}
+
+		cached := NewMatcher(nil)
+		cached.Scores = lingo.NewScoreCache(0)
+		if got := tableOf(cached, p.Source, p.Target); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: cache-fed kernel table differs from direct-scoring table", p.Name)
+		}
+		// A second run on the same matcher answers every label from the
+		// cache — still bit-identical.
+		if got := tableOf(cached, p.Source, p.Target); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: warm-cache table differs from direct-scoring table", p.Name)
+		}
+		if s := cached.Scores.Stats(); s.Hits == 0 {
+			t.Errorf("%s: warm rerun recorded no cache hits (%+v)", p.Name, s)
+		}
+	}
+}
+
+// The parallel fill (kernel rows and level sweep fanned over the worker
+// pool) must also be bit-identical. 81×81 nodes crosses parallelCutoff.
+func TestKernelEquivalenceParallel(t *testing.T) {
+	src, tgt := wide("L", 80), wide("R", 80)
+	if cells := src.Size() * tgt.Size(); cells < parallelCutoff {
+		t.Fatalf("workload has %d cells, below the parallel cutoff %d", cells, parallelCutoff)
+	}
+	ref := NewMatcher(nil)
+	ref.noKernel = true
+	want := tableOf(ref, src, tgt)
+
+	par := NewMatcher(nil)
+	par.Parallelism = 4
+	par.Scores = lingo.NewScoreCache(0)
+	if got := tableOf(par, src, tgt); !reflect.DeepEqual(got, want) {
+		t.Error("parallel kernel table differs from sequential direct-scoring table")
+	}
+}
+
+// A node outside the matched trees must yield the zero QoM, not a panic
+// from the -1 table index Result.cell would produce.
+func TestPairForeignNode(t *testing.T) {
+	p := dataset.DCMDPair()
+	m := NewMatcher(nil)
+	r := m.Tree(p.Source, p.Target)
+	tw := &treeWorker{m: m, names: m.Names, r: r, w: m.Weights.Normalized()}
+	foreign := xmltree.New("Stranger", xmltree.Elem("string"))
+	if q := tw.pair(foreign, p.Target); q != (QoM{}) {
+		t.Errorf("pair(foreign, target) = %+v, want zero QoM", q)
+	}
+	if q := tw.pair(p.Source, foreign); q != (QoM{}) {
+		t.Errorf("pair(source, foreign) = %+v, want zero QoM", q)
+	}
+	if q, ok := r.Pair(foreign, p.Target); ok || q != (QoM{}) {
+		t.Errorf("Pair(foreign, target) = %+v, %v, want zero, false", q, ok)
+	}
+}
+
+// topPairsReference is the pre-heap implementation: materialize every pair,
+// stable-sort descending by value (pre-order position breaks ties), take n.
+func topPairsReference(r *Result, n int) []PairQoM {
+	pairs := r.Pairs()
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].QoM.Value > pairs[j].QoM.Value })
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return pairs[:n]
+}
+
+// The bounded-heap TopPairs must reproduce the sort-based ordering exactly,
+// ties included — wide trees make nearly every cell a tie.
+func TestTopPairsMatchesSort(t *testing.T) {
+	results := []*Result{
+		NewMatcher(nil).Tree(dataset.DCMDPair().Source, dataset.DCMDPair().Target),
+		NewMatcher(nil).Tree(wide("L", 20), wide("R", 20)),
+	}
+	for ri, r := range results {
+		for _, n := range []int{1, 3, 10, 57, len(r.table), len(r.table) + 100} {
+			got := r.TopPairs(n)
+			want := topPairsReference(r, n)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("result %d: TopPairs(%d) diverges from sort-based selection", ri, n)
+			}
+		}
+		if got := r.TopPairs(0); got != nil {
+			t.Errorf("result %d: TopPairs(0) = %d pairs, want none", ri, len(got))
+		}
+		if got := r.TopPairs(-3); got != nil {
+			t.Errorf("result %d: TopPairs(-3) = %d pairs, want none", ri, len(got))
+		}
+	}
+}
+
+// Allocation regression gate for the hybrid hot loop. The DCMD pair table
+// runs at ~550 allocations after the interned kernel and pooled string
+// metrics (down from ~4300); a generous 1500 ceiling trips on any return
+// of per-cell allocation without flaking on runtime noise.
+func TestTreeAllocsBounded(t *testing.T) {
+	p := dataset.DCMDPair()
+	m := NewMatcher(nil)
+	m.Tree(p.Source, p.Target) // warm the name-matcher memo caches
+	allocs := testing.AllocsPerRun(5, func() {
+		m.Tree(p.Source, p.Target)
+	})
+	if allocs > 1500 {
+		t.Errorf("DCMD Tree = %.0f allocs/run, regression ceiling is 1500", allocs)
+	}
+}

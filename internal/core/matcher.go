@@ -35,6 +35,18 @@ type Matcher struct {
 	// bit-identical tables — every cell is a pure function of the cells
 	// of strictly smaller source subtrees, so only the schedule changes.
 	Parallelism int
+	// Scores is an optional shared label-pair score cache consulted (and
+	// fed) while the interned similarity kernel is filled, so repeated
+	// vocabulary across many matches on one long-lived handle is scored
+	// once. The cache is concurrency-safe; every matcher sharing one must
+	// use the same thesaurus and tuning (the public package's Engine
+	// guarantees this).
+	Scores *lingo.ScoreCache
+
+	// noKernel disables the interned similarity kernel and scores every
+	// cell directly — the reference path the kernel equivalence tests
+	// compare against.
+	noKernel bool
 }
 
 // parallelCutoff is the minimum pair-table size (cells) worth fanning out;
@@ -71,6 +83,7 @@ type Result struct {
 	srcIdx, tgtIdx     map[*xmltree.Node]int
 	table              []QoM
 	done               []bool
+	kern               *simKernel
 }
 
 func newResult(src, tgt *xmltree.Node) *Result {
@@ -126,6 +139,10 @@ func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 	if par := m.parallelism(); par > 1 && len(r.table) >= parallelCutoff {
 		m.treeParallel(r, w, par)
 	} else {
+		if !m.noKernel {
+			r.kern = newKernel(r.srcNodes, r.tgtNodes)
+			r.kern.fill(m.Names, m.Scores)
+		}
 		tw := &treeWorker{m: m, names: m.Names, r: r, w: w}
 		for _, s := range r.srcNodes {
 			for _, t := range r.tgtNodes {
@@ -184,6 +201,12 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 	for i := range workers {
 		workers[i] = &treeWorker{m: m, names: m.Names.Clone(), r: r, w: w}
 	}
+	// Fill the interned similarity kernel first, fanning matrix rows over
+	// the same worker pool; the level sweep below then reads it freely.
+	if !m.noKernel {
+		r.kern = newKernel(r.srcNodes, r.tgtNodes)
+		r.kern.fillParallel(workers, m.Scores)
+	}
 	for _, level := range levels {
 		n := len(workers)
 		if n > len(level) {
@@ -214,6 +237,10 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 // MatchNodes computes the QoM of a single subtree pair.
 func (m *Matcher) MatchNodes(s, t *xmltree.Node) QoM {
 	r := newResult(s, t)
+	if !m.noKernel {
+		r.kern = newKernel(r.srcNodes, r.tgtNodes)
+		r.kern.fill(m.Names, m.Scores)
+	}
 	tw := &treeWorker{m: m, names: m.Names, r: r, w: m.Weights.Normalized()}
 	return tw.pair(s, t)
 }
@@ -227,10 +254,20 @@ type treeWorker struct {
 	w     AxisWeights
 }
 
-// pair computes (or returns the memoized) QoM of one node pair.
+// pair computes (or returns the memoized) QoM of one node pair. A node
+// foreign to the matched trees yields the zero QoM instead of panicking on
+// a bogus table index.
 func (tw *treeWorker) pair(s, t *xmltree.Node) QoM {
 	r := tw.r
-	idx := r.cell(s, t)
+	i, ok := r.srcIdx[s]
+	if !ok {
+		return QoM{}
+	}
+	j, ok := r.tgtIdx[t]
+	if !ok {
+		return QoM{}
+	}
+	idx := i*len(r.tgtNodes) + j
 	if r.done[idx] {
 		return r.table[idx]
 	}
@@ -240,9 +277,16 @@ func (tw *treeWorker) pair(s, t *xmltree.Node) QoM {
 	r.done[idx] = true
 
 	var q QoM
-	q.Label, q.LabelKind = tw.names.Match(s.Label, t.Label)
-	pq := MatchProperties(s.Props, t.Props)
-	q.Properties, q.PropertiesKind = pq.Score, pq.Kind
+	if k := r.kern; k != nil {
+		lc := k.labelAt(i, j)
+		q.Label, q.LabelKind = lc.score, lc.kind
+		pc := k.propAt(i, j)
+		q.Properties, q.PropertiesKind = pc.Score, pc.Kind
+	} else {
+		q.Label, q.LabelKind = tw.names.Match(s.Label, t.Label)
+		pq := MatchProperties(s.Props, t.Props)
+		q.Properties, q.PropertiesKind = pq.Score, pq.Kind
+	}
 
 	if s.IsLeaf() && t.IsLeaf() {
 		// Leaf match (Eq. 2): label and properties compared; level and
@@ -381,14 +425,84 @@ func (r *Result) BestForSource(s *xmltree.Node) (*xmltree.Node, QoM) {
 }
 
 // TopPairs returns the n highest-QoM pairs, ties broken by source then
-// target pre-order position.
+// target pre-order position. Selection runs a bounded min-heap in a single
+// pass over the dense table — O(cells·log n) and n heap entries instead of
+// materializing and sorting all n·m pairs, which on the PIR×PDB table
+// (867k cells) is the difference between microseconds and a full
+// sort-the-world pass (see BenchmarkTopPairs).
 func (r *Result) TopPairs(n int) []PairQoM {
-	all := r.Pairs()
-	sort.SliceStable(all, func(i, j int) bool {
-		return all[i].QoM.Value > all[j].QoM.Value
-	})
-	if n > len(all) {
-		n = len(all)
+	if n <= 0 {
+		return nil
 	}
-	return all[:n]
+	type entry struct {
+		idx   int
+		value float64
+	}
+	// worse reports whether a ranks strictly below b: lower value, or at
+	// equal value a later table position — matching the ordering a stable
+	// descending sort over the pre-order pair list produces.
+	worse := func(a, b entry) bool {
+		if a.value != b.value {
+			return a.value < b.value
+		}
+		return a.idx > b.idx
+	}
+	// Min-heap of the current top n, worst entry at the root.
+	heap := make([]entry, 0, min2(n, len(r.table)))
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= len(heap) {
+				break
+			}
+			least := l
+			if rc := l + 1; rc < len(heap) && worse(heap[rc], heap[l]) {
+				least = rc
+			}
+			if !worse(heap[least], heap[i]) {
+				break
+			}
+			heap[i], heap[least] = heap[least], heap[i]
+			i = least
+		}
+	}
+	for idx := range r.table {
+		if !r.done[idx] {
+			continue
+		}
+		e := entry{idx: idx, value: r.table[idx].Value}
+		switch {
+		case len(heap) < n:
+			heap = append(heap, e)
+			siftUp(len(heap) - 1)
+		case worse(heap[0], e):
+			heap[0] = e
+			siftDown()
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
+	out := make([]PairQoM, len(heap))
+	m := len(r.tgtNodes)
+	for i, e := range heap {
+		out[i] = PairQoM{Source: r.srcNodes[e.idx/m], Target: r.tgtNodes[e.idx%m], QoM: r.table[e.idx]}
+	}
+	return out
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -28,6 +28,18 @@ func BenchmarkDCMDHybridTree(b *testing.B) {
 	}
 }
 
+// BenchmarkTopPairs measures bounded-heap top-n selection over the PIR×PDB
+// pair table (867k cells): one pass with n heap entries instead of
+// materializing and sorting every pair.
+func BenchmarkTopPairs(b *testing.B) {
+	p := dataset.ProteinPair()
+	res := NewMatcher(nil).Tree(p.Source, p.Target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.TopPairs(10)
+	}
+}
+
 // BenchmarkPairTableReuse measures the Hybrid single-entry memo: Match
 // followed by TreeScore on the same pair computes one table.
 func BenchmarkPairTableReuse(b *testing.B) {

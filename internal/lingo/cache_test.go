@@ -1,0 +1,103 @@
+package lingo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestScoreCacheGetPut(t *testing.T) {
+	c := NewScoreCache(0)
+	if _, ok := c.Get("order", "purchase"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := LabelScore{Score: 0.75, Kind: Relaxed}
+	c.Put("order", "purchase", want)
+	got, ok := c.Get("order", "purchase")
+	if !ok || got != want {
+		t.Fatalf("Get after Put = %+v, %v; want %+v, true", got, ok, want)
+	}
+}
+
+// The cache key is symmetric: NameMatcher.Match(a,b) == Match(b,a) (pinned
+// by TestNameMatchSymmetric), so Get(b, a) must hit an entry stored under
+// (a, b).
+func TestScoreCacheSymmetricKey(t *testing.T) {
+	c := NewScoreCache(0)
+	want := LabelScore{Score: 1, Kind: Exact}
+	c.Put("writer", "author", want)
+	got, ok := c.Get("author", "writer")
+	if !ok || got != want {
+		t.Fatalf("Get(reversed) = %+v, %v; want %+v, true", got, ok, want)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("symmetric pair stored as %d entries, want 1", s.Entries)
+	}
+}
+
+func TestScoreCacheBound(t *testing.T) {
+	const bound = 256
+	c := NewScoreCache(bound)
+	for i := 0; i < 4096; i++ {
+		c.Put(fmt.Sprintf("src%d", i), fmt.Sprintf("tgt%d", i), LabelScore{Score: float64(i)})
+	}
+	s := c.Stats()
+	if s.Entries > bound {
+		t.Fatalf("cache holds %d entries, bound is %d", s.Entries, bound)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("overfilled cache reported no evictions")
+	}
+}
+
+func TestScoreCacheStats(t *testing.T) {
+	c := NewScoreCache(0)
+	c.Get("a", "b") // miss
+	c.Put("a", "b", LabelScore{Score: 0.5})
+	c.Get("a", "b") // hit
+	c.Get("a", "b") // hit
+	c.Get("x", "y") // miss
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.Entries != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses / 1 entry / 0 evictions", s)
+	}
+}
+
+// The cache is shared across every worker of an Engine; hammer it from
+// several goroutines (run with -race) and check the counters add up.
+func TestScoreCacheConcurrent(t *testing.T) {
+	c := NewScoreCache(1024)
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				a := fmt.Sprintf("label%d", (w*rounds+i)%300)
+				b := fmt.Sprintf("name%d", i%50)
+				if _, ok := c.Get(a, b); !ok {
+					c.Put(a, b, LabelScore{Score: 0.25})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*rounds {
+		t.Fatalf("hits(%d)+misses(%d) != %d lookups", s.Hits, s.Misses, workers*rounds)
+	}
+	if s.Entries == 0 || s.Entries > 1024 {
+		t.Fatalf("entries = %d, want within (0, 1024]", s.Entries)
+	}
+}
+
+func TestScoreCacheDefaultSize(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		c := NewScoreCache(n)
+		if got := c.maxPerShard * scoreShards; got != DefaultScoreCacheSize {
+			t.Fatalf("NewScoreCache(%d) bound = %d, want %d", n, got, DefaultScoreCacheSize)
+		}
+	}
+}

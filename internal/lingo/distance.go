@@ -1,6 +1,10 @@
 package lingo
 
-import "sort"
+import (
+	"slices"
+	"sync"
+	"unicode/utf8"
+)
 
 // String-similarity metrics. All similarity functions return values in
 // [0, 1] with 1 meaning identical; distance functions return edit counts.
@@ -54,11 +58,58 @@ func EditSim(a, b string) float64 {
 // allocation — schema labels are almost always shorter.
 const jaroStackLimit = 64
 
-// Jaro returns the Jaro similarity of a and b.
+// longBufs holds the spill working buffers the metrics need for inputs
+// longer than jaroStackLimit runes. Pooling them keeps even pathological
+// label lengths off the allocator's hot path.
+type longBufs struct {
+	ra, rb []rune
+	ma, mb []bool
+	ha, hb []uint64
+}
+
+var longBufPool = sync.Pool{New: func() any { return new(longBufs) }}
+
+// boolsInto returns a zeroed bool slice of length n backed by buf when its
+// capacity allows.
+func boolsInto(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// Jaro returns the Jaro similarity of a and b. The stack and pooled
+// buffer paths are kept strictly apart so escape analysis can prove the
+// stack arrays never reach the heap — the common short-label case runs
+// allocation-free.
 func Jaro(a, b string) float64 {
-	var rbufA, rbufB [jaroStackLimit]rune
-	ra := runesInto(rbufA[:0], a)
-	rb := runesInto(rbufB[:0], b)
+	// len in bytes bounds len in runes, so short byte strings are safe on
+	// the stack buffers.
+	if len(a) <= jaroStackLimit && len(b) <= jaroStackLimit {
+		var rbufA, rbufB [jaroStackLimit]rune
+		var bufA, bufB [jaroStackLimit]bool
+		ra := runesInto(rbufA[:0], a)
+		rb := runesInto(rbufB[:0], b)
+		return jaroRunes(ra, rb, bufA[:len(ra)], bufB[:len(rb)])
+	}
+	lb := longBufPool.Get().(*longBufs)
+	ra := runesInto(lb.ra[:0], a)
+	rb := runesInto(lb.rb[:0], b)
+	ma := boolsInto(lb.ma, len(ra))
+	mb := boolsInto(lb.mb, len(rb))
+	lb.ra, lb.rb, lb.ma, lb.mb = ra, rb, ma, mb
+	j := jaroRunes(ra, rb, ma, mb)
+	longBufPool.Put(lb)
+	return j
+}
+
+// jaroRunes computes the Jaro similarity over decoded runes; matchedA and
+// matchedB are zeroed scratch of the matching lengths.
+func jaroRunes(ra, rb []rune, matchedA, matchedB []bool) float64 {
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
@@ -68,15 +119,6 @@ func Jaro(a, b string) float64 {
 	window := max2(len(ra), len(rb))/2 - 1
 	if window < 0 {
 		window = 0
-	}
-	var bufA, bufB [jaroStackLimit]bool
-	var matchedA, matchedB []bool
-	if len(ra) <= jaroStackLimit && len(rb) <= jaroStackLimit {
-		matchedA = bufA[:len(ra)]
-		matchedB = bufB[:len(rb)]
-	} else {
-		matchedA = make([]bool, len(ra))
-		matchedB = make([]bool, len(rb))
 	}
 	matches := 0
 	for i := range ra {
@@ -114,13 +156,19 @@ func Jaro(a, b string) float64 {
 }
 
 // JaroWinkler returns the Jaro similarity boosted for a shared prefix of up
-// to four characters with the standard scaling factor 0.1.
+// to four characters with the standard scaling factor 0.1. The prefix scan
+// decodes runes in place, keeping the function allocation-free.
 func JaroWinkler(a, b string) float64 {
 	j := Jaro(a, b)
 	prefix := 0
-	ra, rb := []rune(a), []rune(b)
-	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+	for prefix < 4 && len(a) > 0 && len(b) > 0 {
+		ca, sa := utf8.DecodeRuneInString(a)
+		cb, sb := utf8.DecodeRuneInString(b)
+		if ca != cb {
+			break
+		}
 		prefix++
+		a, b = a[sa:], b[sb:]
 	}
 	return j + float64(prefix)*0.1*(1-j)
 }
@@ -138,15 +186,32 @@ func NGramSim(a, b string, n int) float64 {
 	if a == b {
 		return 1
 	}
-	var bufA, bufB [jaroStackLimit]uint64
-	ga := ngramHashes(bufA[:0], a, n)
-	gb := ngramHashes(bufB[:0], b, n)
+	// As in Jaro, the stack and pooled paths stay strictly apart so the
+	// stack arrays provably never escape.
+	if len(a) <= jaroStackLimit && len(b) <= jaroStackLimit {
+		var bufA, bufB [jaroStackLimit]uint64
+		var rbufA, rbufB [jaroStackLimit]rune
+		ga := ngramHashes(bufA[:0], rbufA[:0], a, n)
+		gb := ngramHashes(bufB[:0], rbufB[:0], b, n)
+		return ngramDice(ga, gb, a, b)
+	}
+	lb := longBufPool.Get().(*longBufs)
+	ga := ngramHashes(lb.ha[:0], lb.ra[:0], a, n)
+	gb := ngramHashes(lb.hb[:0], lb.rb[:0], b, n)
+	lb.ha, lb.hb = ga, gb
+	d := ngramDice(ga, gb, a, b)
+	longBufPool.Put(lb)
+	return d
+}
+
+// ngramDice merge-counts common n-grams with multiplicity (multiset Dice)
+// over the two hash multisets; empty multisets fall back to EditSim.
+func ngramDice(ga, gb []uint64, a, b string) float64 {
 	if len(ga) == 0 || len(gb) == 0 {
 		return EditSim(a, b)
 	}
 	sortHashes(ga)
 	sortHashes(gb)
-	// Merge-count common n-grams with multiplicity (multiset Dice).
 	common := 0
 	i, j := 0, 0
 	for i < len(ga) && j < len(gb) {
@@ -169,10 +234,9 @@ func NGramSim(a, b string, n int) float64 {
 func TrigramSim(a, b string) float64 { return NGramSim(a, b, 3) }
 
 // ngramHashes appends the FNV-1a hash of every padded n-rune window of s
-// to buf.
-func ngramHashes(buf []uint64, s string, n int) []uint64 {
-	var rbuf [jaroStackLimit]rune
-	r := runesInto(rbuf[:0], s)
+// to buf, decoding s into rbuf.
+func ngramHashes(buf []uint64, rbuf []rune, s string, n int) []uint64 {
+	r := runesInto(rbuf, s)
 	if len(r) == 0 {
 		return buf[:0]
 	}
@@ -198,10 +262,12 @@ func ngramHashes(buf []uint64, s string, n int) []uint64 {
 }
 
 // sortHashes insertion-sorts short hash slices (the common case) and falls
-// back to the stdlib for long ones.
+// back to the stdlib for long ones. The fallback is the generic
+// slices.Sort, not sort.Slice — interface boxing in the latter makes the
+// caller's stack-backed hash buffers escape to the heap on every call.
 func sortHashes(h []uint64) {
 	if len(h) > 96 {
-		sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+		slices.Sort(h)
 		return
 	}
 	for i := 1; i < len(h); i++ {

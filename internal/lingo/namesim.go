@@ -52,9 +52,20 @@ type NameMatcher struct {
 	// classify as None score 0 on the label axis.
 	MatchThreshold float64
 
-	tokens    map[string][]string
+	tokens    map[string]tokenized
 	normed    map[string]string
-	tokenSims map[[2]string]tokenScore
+	tokIndex  map[string]int32
+	tokNames  []string
+	tokenSims map[uint64]tokenScore
+}
+
+// tokenized is a memoized tokenization: the noise-stripped tokens of a
+// label and their interned ids. The ids key the token-pair similarity memo
+// — a packed uint64 of two dense int32s beats a [2]string map key on both
+// hash cost and key allocation.
+type tokenized struct {
+	toks []string
+	ids  []int32
 }
 
 type tokenScore struct {
@@ -67,9 +78,11 @@ type tokenScore struct {
 // take a clone — the Thesaurus is shared read-only, the caches are not.
 func (m *NameMatcher) Clone() *NameMatcher {
 	c := *m
-	c.tokens = map[string][]string{}
+	c.tokens = map[string]tokenized{}
 	c.normed = map[string]string{}
-	c.tokenSims = map[[2]string]tokenScore{}
+	c.tokIndex = map[string]int32{}
+	c.tokNames = nil
+	c.tokenSims = map[uint64]tokenScore{}
 	return &c
 }
 
@@ -85,20 +98,37 @@ func NewNameMatcher(t *Thesaurus) *NameMatcher {
 		RelaxedScore:   0.85,
 		StringSimFloor: 0.75,
 		MatchThreshold: 0.65,
-		tokens:         map[string][]string{},
+		tokens:         map[string]tokenized{},
 		normed:         map[string]string{},
-		tokenSims:      map[[2]string]tokenScore{},
+		tokIndex:       map[string]int32{},
+		tokenSims:      map[uint64]tokenScore{},
 	}
 }
 
-// tokenize returns the memoized noise-stripped token list of a label.
-func (m *NameMatcher) tokenize(label string) []string {
+// tokenize returns the memoized noise-stripped tokenization of a label.
+func (m *NameMatcher) tokenize(label string) tokenized {
 	if ts, ok := m.tokens[label]; ok {
 		return ts
 	}
-	ts := StripNoise(Tokenize(label))
+	toks := StripNoise(Tokenize(label))
+	ids := make([]int32, len(toks))
+	for i, t := range toks {
+		ids[i] = m.intern(t)
+	}
+	ts := tokenized{toks: toks, ids: ids}
 	m.tokens[label] = ts
 	return ts
+}
+
+// intern assigns (or returns) the dense id of a token.
+func (m *NameMatcher) intern(tok string) int32 {
+	if id, ok := m.tokIndex[tok]; ok {
+		return id
+	}
+	id := int32(len(m.tokNames))
+	m.tokNames = append(m.tokNames, tok)
+	m.tokIndex[tok] = id
+	return id
 }
 
 // normalize returns the memoized normalized form of a label.
@@ -132,11 +162,11 @@ func (m *NameMatcher) Match(a, b string) (float64, Kind) {
 	ta, tb := m.tokenize(a), m.tokenize(b)
 	// Whole-label acronym / abbreviation detection (inline AbbrevMatch,
 	// reusing the cached tokenizations).
-	if m.abbrevMatch(na, nb, ta, tb) {
+	if m.abbrevMatch(na, nb, ta.toks, tb.toks) {
 		return m.RelaxedScore, Relaxed
 	}
 	// Token-level aggregation.
-	score, allExact, fullCover := m.tokenAggregate(ta, tb)
+	score, allExact, fullCover := m.tokenAggregate(ta.ids, tb.ids)
 	if score >= m.MatchThreshold {
 		if allExact && fullCover && score >= 0.999 {
 			return score, Exact
@@ -188,7 +218,7 @@ func (m *NameMatcher) Score(a, b string) float64 {
 // sets: each token is matched to its best counterpart; the aggregate is the
 // mean of the two directional averages. It reports whether every best match
 // was exact and whether every token on both sides found a counterpart.
-func (m *NameMatcher) tokenAggregate(ta, tb []string) (score float64, allExact, fullCover bool) {
+func (m *NameMatcher) tokenAggregate(ta, tb []int32) (score float64, allExact, fullCover bool) {
 	if len(ta) == 0 || len(tb) == 0 {
 		return 0, false, false
 	}
@@ -198,7 +228,7 @@ func (m *NameMatcher) tokenAggregate(ta, tb []string) (score float64, allExact, 
 	return (dirA + dirB) / 2, allExact, fullCover
 }
 
-func (m *NameMatcher) direction(from, to []string, allExact, fullCover *bool) float64 {
+func (m *NameMatcher) direction(from, to []int32, allExact, fullCover *bool) float64 {
 	total := 0.0
 	for _, ft := range from {
 		best, bestExact := 0.0, false
@@ -219,16 +249,18 @@ func (m *NameMatcher) direction(from, to []string, allExact, fullCover *bool) fl
 	return total / float64(len(from))
 }
 
-// tokenSim scores one token pair (memoized symmetrically).
-func (m *NameMatcher) tokenSim(a, b string) tokenScore {
-	key := [2]string{a, b}
-	if a > b {
-		key = [2]string{b, a}
+// tokenSim scores one interned token pair (memoized symmetrically under
+// the packed id pair).
+func (m *NameMatcher) tokenSim(a, b int32) tokenScore {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
 	}
+	key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
 	if s, ok := m.tokenSims[key]; ok {
 		return s
 	}
-	s := m.tokenSimUncached(a, b)
+	s := m.tokenSimUncached(m.tokNames[a], m.tokNames[b])
 	m.tokenSims[key] = s
 	return s
 }

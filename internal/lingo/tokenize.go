@@ -8,8 +8,19 @@ package lingo
 
 import (
 	"strings"
+	"sync"
 	"unicode"
 )
+
+// tokScratch holds the rune working buffers of one Tokenize call. The
+// buffers are pooled: tokenization sits under every label comparison, and
+// the two []rune conversions it would otherwise allocate per call dominate
+// the cold-path allocation profile of a large match.
+type tokScratch struct {
+	runes, cur []rune
+}
+
+var tokScratchPool = sync.Pool{New: func() any { return new(tokScratch) }}
 
 // Tokenize splits a schema label into lowercase word tokens. It recognizes
 // camelCase and PascalCase boundaries, ALLCAPS acronym runs (the final
@@ -18,15 +29,21 @@ import (
 // '.', '/', ':', '#'). A trailing '#' is tokenized as the word "number"
 // ("Item#" → ["item", "number"]), matching common schema shorthand.
 func Tokenize(label string) []string {
+	sc := tokScratchPool.Get().(*tokScratch)
 	var tokens []string
-	var cur []rune
+	cur := sc.cur[:0]
 	flush := func() {
 		if len(cur) > 0 {
-			tokens = append(tokens, strings.ToLower(string(cur)))
+			// Lowercase in place; string(cur) is the only allocation
+			// per token (strings.ToLower would add a second).
+			for i, r := range cur {
+				cur[i] = unicode.ToLower(r)
+			}
+			tokens = append(tokens, string(cur))
 			cur = cur[:0]
 		}
 	}
-	runes := []rune(label)
+	runes := runesInto(sc.runes[:0], label)
 	for i, r := range runes {
 		switch {
 		case r == '#':
@@ -54,6 +71,8 @@ func Tokenize(label string) []string {
 		}
 	}
 	flush()
+	sc.runes, sc.cur = runes, cur
+	tokScratchPool.Put(sc)
 	return tokens
 }
 

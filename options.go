@@ -119,6 +119,7 @@ type config struct {
 	custom             *Thesaurus
 	noBuiltin          bool
 	parallelism        int
+	labelCacheSize     int
 }
 
 func newConfig() *config {
@@ -145,6 +146,9 @@ func (c *config) validate() error {
 	if c.parallelism < 0 {
 		return fmt.Errorf("qmatch: negative parallelism %d", c.parallelism)
 	}
+	if c.labelCacheSize < 0 {
+		return fmt.Errorf("qmatch: negative label cache size %d", c.labelCacheSize)
+	}
 	return nil
 }
 
@@ -170,6 +174,18 @@ func WithWeights(w Weights) Option {
 // construction.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
+}
+
+// WithLabelCacheSize bounds the Engine's shared label-score cache to
+// roughly n label pairs. The cache memoizes the linguistic score of every
+// unique (source label, target label) combination across all Match and
+// MatchAll calls of the Engine's lifetime, so repeated vocabulary in a
+// batch grid — or across requests on a long-lived serving Engine — is
+// scored once. 0 (the default) selects a generous built-in bound (2^18
+// pairs); negative sizes are rejected at Engine construction. Cache
+// hit/miss counters are exposed via Engine.CacheStats.
+func WithLabelCacheSize(n int) Option {
+	return func(c *config) { c.labelCacheSize = n }
 }
 
 // WithChildThreshold overrides the Fig. 3 threshold gating which child
