@@ -21,6 +21,8 @@
 //	qbench -fast           # skip the slow experiments (Figure 4's protein
 //	                       # workload and the full Table 2 sweep)
 //	qbench -json FILE      # with -ext pairtable: also write rows as JSON
+//	qbench -metrics FILE   # run an instrumented Engine over the corpus
+//	                       # pairs and write its metrics snapshot as JSON
 //	qbench -cpuprofile FILE   # write a CPU profile of the run
 //	qbench -memprofile FILE   # write a heap profile at the end of the run
 //
@@ -37,6 +39,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"qmatch"
 	"qmatch/internal/bench"
 	"qmatch/internal/dataset"
 )
@@ -56,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	reps := fs.Int("reps", 3, "repetitions for runtime measurements")
 	fast := fs.Bool("fast", false, "skip the slowest experiments")
 	jsonOut := fs.String("json", "", "with -ext pairtable: also write the rows as JSON to this file")
+	metricsOut := fs.String("metrics", "", "write an instrumented-Engine metrics snapshot as JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +71,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer stopProfiles()
+
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut, *fast); err != nil {
+			return err
+		}
+	}
 
 	if *ext != "" {
 		switch *ext {
@@ -202,6 +212,32 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown figure %d", *figure)
 	}
 	return nil
+}
+
+// writeMetricsSnapshot matches every corpus pair on one metrics-collecting
+// Engine and writes its registry snapshot as JSON — the machine-readable
+// observability artifact CI uploads next to BENCH_pairtable.json.
+func writeMetricsSnapshot(path string, fast bool) error {
+	eng, err := qmatch.NewEngine(qmatch.WithObserver(qmatch.Observer{Metrics: true}))
+	if err != nil {
+		return err
+	}
+	pairs := dataset.Pairs()
+	if fast {
+		pairs = pairs[:3] // drop the 3984-element protein workload
+	}
+	for _, p := range pairs {
+		eng.Match(qmatch.FromTree(p.Source), qmatch.FromTree(p.Target))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.WriteMetricsJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // startProfiles begins CPU profiling and arranges the heap profile, per the

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -72,6 +74,30 @@ func TestRunErrors(t *testing.T) {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	if err := run([]string{"-ext", "pairtable", "-fast", "-reps", "1", "-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	// Three -fast corpus pairs matched on the instrumented Engine.
+	for _, want := range []string{
+		`"qmatch_matches_total": 3`,
+		`"qmatch_phase_ns_total{phase=\"pairtable\"}"`,
+		`"qmatch_match_duration_seconds"`,
+		`"qmatch_label_cache_hits_total"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, s)
 		}
 	}
 }

@@ -23,6 +23,9 @@
 //	-explain N                                explain the N best pairs' QoM derivations
 //	-complex                                  also report 1:n splits over the unmatched remainder
 //	-qom                                      also print the per-axis QoM breakdown (text only)
+//	-trace                                    record the per-phase pipeline trace (parse, intern,
+//	                                          pairtable, select); printed in text mode, embedded
+//	                                          as "trace" in JSON output
 //	-dump                                     print both schema trees before matching
 package main
 
@@ -33,9 +36,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"qmatch"
 	"qmatch/internal/dataset"
+	"qmatch/internal/obs"
 )
 
 func main() {
@@ -58,6 +63,7 @@ func run(args []string, out io.Writer) error {
 	explain := fs.Int("explain", 0, "explain the N best pairs")
 	complexFlag := fs.Bool("complex", false, "report 1:n complex correspondences")
 	showQoM := fs.Bool("qom", false, "print the per-axis QoM breakdown")
+	trace := fs.Bool("trace", false, "record and report the per-phase pipeline trace")
 	dump := fs.Bool("dump", false, "print both schema trees")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,14 +72,21 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("want exactly 2 arguments (source, target), got %d", fs.NArg())
 	}
 
+	// Time the two schema loads: the Engine's trace covers the match
+	// pipeline from vocabulary interning onward, and the parse phase
+	// happens out here, so the CLI contributes those spans itself.
+	loadStart := time.Now()
 	src, err := load(fs.Arg(0), *builtin)
 	if err != nil {
 		return err
 	}
+	srcLoadNs := time.Since(loadStart).Nanoseconds()
+	loadStart = time.Now()
 	tgt, err := load(fs.Arg(1), *builtin)
 	if err != nil {
 		return err
 	}
+	tgtLoadNs := time.Since(loadStart).Nanoseconds()
 
 	var opts []qmatch.Option
 	if *configPath != "" {
@@ -109,6 +122,9 @@ func run(args []string, out io.Writer) error {
 		}
 		opts = append(opts, qmatch.WithThesaurus(th))
 	}
+	if *trace {
+		opts = append(opts, qmatch.WithObserver(qmatch.Observer{Tracing: true}))
+	}
 	eng, err := qmatch.NewEngine(opts...)
 	if err != nil {
 		return err
@@ -122,6 +138,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	report := eng.Match(src, tgt)
+	if *trace && report.Trace != nil {
+		report.Trace = withParseSpans(report.Trace, src, tgt, srcLoadNs, tgtLoadNs)
+	}
 	switch *format {
 	case "json":
 		return report.WriteJSON(out)
@@ -154,7 +173,31 @@ func run(args []string, out io.Writer) error {
 	if *explain > 0 {
 		fmt.Fprintf(out, "\n%s", eng.ExplainTop(src, tgt, *explain))
 	}
+	if *trace && report.Trace != nil {
+		fmt.Fprintf(out, "\n%s", report.Trace.Format())
+	}
 	return nil
+}
+
+// withParseSpans prepends the CLI-measured schema-load durations as parse
+// spans: the Engine's trace starts at vocabulary interning, so the full
+// Fig. 3 pipeline picture needs the parse phase stitched in front. The
+// match spans shift right by the combined load time and the trace total
+// grows accordingly.
+func withParseSpans(t *qmatch.MatchTrace, src, tgt *qmatch.Schema, srcNs, tgtNs int64) *qmatch.MatchTrace {
+	shift := srcNs + tgtNs
+	out := &qmatch.MatchTrace{
+		TotalNs: t.TotalNs + shift,
+		Spans: []qmatch.TraceSpan{
+			{Phase: string(obs.PhaseParse), StartNs: 0, DurationNs: srcNs, SrcNodes: src.Size()},
+			{Phase: string(obs.PhaseParse), StartNs: srcNs, DurationNs: tgtNs, TgtNodes: tgt.Size()},
+		},
+	}
+	for _, s := range t.Spans {
+		s.StartNs += shift
+		out.Spans = append(out.Spans, s)
+	}
+	return out
 }
 
 func load(arg string, builtin bool) (*qmatch.Schema, error) {

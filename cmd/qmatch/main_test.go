@@ -204,3 +204,34 @@ func TestRunConfigFile(t *testing.T) {
 		t.Fatal("missing config accepted")
 	}
 }
+
+func TestRunTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-builtin", "-trace", "PO1", "PO2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"phase breakdown", "parse", "intern", "pairtable", "select"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace output missing %q:\n%s", want, s)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-builtin", "-trace", "-format", "json", "PO1", "PO2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	if !strings.Contains(s, `"trace"`) || !strings.Contains(s, `"phase": "pairtable"`) {
+		t.Fatalf("-trace JSON missing trace object:\n%s", s)
+	}
+
+	// Without -trace the wire format must stay trace-free.
+	out.Reset()
+	if err := run([]string{"-builtin", "-format", "json", "PO1", "PO2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), `"trace"`) {
+		t.Fatalf("untraced JSON leaks a trace key:\n%s", out.String())
+	}
+}

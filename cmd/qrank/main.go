@@ -17,6 +17,8 @@
 //	-algorithm NAME   hybrid (default), linguistic, structural or cupid
 //	-top N            print only the N best entries (default: all)
 //	-maps             also print the best entry's correspondences
+//	-trace            re-match the best entry with phase tracing on and
+//	                  print its pipeline breakdown
 package main
 
 import (
@@ -45,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	algorithm := fsFlags.String("algorithm", "hybrid", "matcher: hybrid, linguistic, structural or cupid")
 	top := fsFlags.Int("top", 0, "print only the N best entries")
 	maps := fsFlags.Bool("maps", false, "print the best entry's correspondences")
+	trace := fsFlags.Bool("trace", false, "print the best entry's pipeline phase breakdown")
 	if err := fsFlags.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +109,19 @@ func run(args []string, out io.Writer) error {
 		for _, c := range best.Correspondences {
 			fmt.Fprintf(out, "  %s\n", c)
 		}
+	}
+	if *trace && len(ranked) > 0 {
+		// Rank itself runs untraced (tracing every corpus entry would
+		// skew the ranking wall time); re-match just the winner with a
+		// tracing engine to show where its time goes.
+		best := ranked[0]
+		traced, err := qmatch.NewEngine(qmatch.WithAlgorithm(alg),
+			qmatch.WithObserver(qmatch.Observer{Tracing: true}))
+		if err != nil {
+			return err
+		}
+		report := traced.Match(query, best.Schema)
+		fmt.Fprintf(out, "\nbest match %s — %s", names[best.Index], report.Trace.Format())
 	}
 	return nil
 }

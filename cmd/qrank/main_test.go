@@ -99,3 +99,17 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTrace(t *testing.T) {
+	dir, query := corpusDir(t)
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-trace", query}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"best match", "phase breakdown", "intern", "pairtable", "select"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-trace output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -2,15 +2,19 @@ package qmatch
 
 import (
 	"context"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qmatch/internal/core"
 	"qmatch/internal/cupid"
 	"qmatch/internal/lingo"
 	"qmatch/internal/linguistic"
 	"qmatch/internal/match"
+	"qmatch/internal/obs"
 	"qmatch/internal/structural"
 )
 
@@ -37,6 +41,29 @@ type Engine struct {
 	names       *lingo.MatcherPool
 	labels      *lingo.ScoreCache
 	parallelism int
+
+	// Observability (DESIGN.md §"Observability"). The registry always
+	// exists — the label-cache gauges are pull-only and free at match
+	// time — but per-match collection, tracing and logging are opt-in via
+	// WithObserver/WithLogger; with all three off the match path reduces
+	// to one boolean check.
+	metrics *obs.Registry
+	logger  *slog.Logger
+	collect bool // per-match metric collection (Observer.Metrics)
+	tracing bool // attach MatchTrace to Reports (Observer.Tracing)
+	em      engineMetrics
+}
+
+// engineMetrics holds the pre-resolved instrument handles of the match
+// path, so observed matches never pay a registry map lookup.
+type engineMetrics struct {
+	matches   *obs.Counter
+	cancelled *obs.Counter
+	cells     *obs.Counter
+	duration  *obs.Histogram
+	inflight  *obs.Gauge
+	workers   *obs.Gauge
+	phaseNs   map[obs.Phase]*obs.Counter
 }
 
 // CacheStats is a snapshot of the Engine's shared label-score cache: the
@@ -53,9 +80,18 @@ type CacheStats struct {
 
 // CacheStats returns the current label-score cache counters. Safe to call
 // concurrently with matching; the snapshot may lag in-flight fills.
+//
+// Deprecated: the cache counters now live in the Engine's metrics registry
+// under the qmatch_label_cache_* names — read them with MetricValue, or
+// scrape the whole registry with WriteMetrics / WriteMetricsJSON /
+// PublishExpvar. CacheStats remains as a thin view over those registry
+// entries.
 func (e *Engine) CacheStats() CacheStats {
-	s := e.labels.Stats()
-	return CacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Evictions: s.Evictions}
+	hits, _ := e.metrics.Value(MetricCacheHits)
+	misses, _ := e.metrics.Value(MetricCacheMisses)
+	entries, _ := e.metrics.Value(MetricCacheEntries)
+	evictions, _ := e.metrics.Value(MetricCacheEvictions)
+	return CacheStats{Hits: hits, Misses: misses, Entries: entries, Evictions: evictions}
 }
 
 // NewEngine compiles the options into a reusable, goroutine-safe Engine.
@@ -78,9 +114,37 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		names:       lingo.NewMatcherPool(th),
 		labels:      lingo.NewScoreCache(cfg.labelCacheSize),
 		parallelism: cfg.parallelism,
+		metrics:     obs.NewRegistry(),
+		logger:      cfg.logger,
+		collect:     cfg.obsMetrics,
+		tracing:     cfg.obsTracing,
 	}
 	if e.parallelism == 0 {
 		e.parallelism = runtime.GOMAXPROCS(0)
+	}
+	// The label-score cache counters are folded into the registry as
+	// pull-style gauges: evaluated only when the registry is read, so the
+	// cache hot path is untouched. CacheStats reads these same entries.
+	labels := e.labels
+	e.metrics.GaugeFunc(MetricCacheHits, func() int64 { return labels.Stats().Hits })
+	e.metrics.GaugeFunc(MetricCacheMisses, func() int64 { return labels.Stats().Misses })
+	e.metrics.GaugeFunc(MetricCacheEntries, func() int64 { return labels.Stats().Entries })
+	e.metrics.GaugeFunc(MetricCacheEvictions, func() int64 { return labels.Stats().Evictions })
+	if e.collect {
+		e.em = engineMetrics{
+			matches:   e.metrics.Counter(MetricMatches),
+			cancelled: e.metrics.Counter(MetricCancelled),
+			cells:     e.metrics.Counter(MetricCells),
+			duration:  e.metrics.Histogram(MetricDuration, nil),
+			inflight:  e.metrics.Gauge(MetricInflight),
+			workers:   e.metrics.Gauge(MetricWorkers),
+			phaseNs: map[obs.Phase]*obs.Counter{
+				obs.PhaseParse:     e.metrics.Counter(phaseMetric(obs.PhaseParse)),
+				obs.PhaseIntern:    e.metrics.Counter(phaseMetric(obs.PhaseIntern)),
+				obs.PhasePairTable: e.metrics.Counter(phaseMetric(obs.PhasePairTable)),
+				obs.PhaseSelect:    e.metrics.Counter(phaseMetric(obs.PhaseSelect)),
+			},
+		}
 	}
 	return e, nil
 }
@@ -184,7 +248,86 @@ func reportFrom(alg match.Algorithm, src, tgt *Schema) *Report {
 func (e *Engine) Match(src, tgt *Schema) *Report {
 	alg, release := e.algorithm(e.parallelism)
 	defer release()
-	return reportFrom(alg, src, tgt)
+	return e.run(alg, src, tgt)
+}
+
+// observing reports whether any instrumentation is enabled; when false the
+// match path is the uninstrumented reportFrom call.
+func (e *Engine) observing() bool {
+	return e.collect || e.tracing || e.logger != nil
+}
+
+// run executes one match through the engine's instrumentation. With no
+// observer configured it reduces to reportFrom — one boolean check, zero
+// extra allocations.
+func (e *Engine) run(alg match.Algorithm, src, tgt *Schema) *Report {
+	if !e.observing() {
+		return reportFrom(alg, src, tgt)
+	}
+	return e.runObserved(alg, src, tgt)
+}
+
+// runObserved is the instrumented match path: a phase trace is recorded
+// whenever tracing or metrics are on (per-phase wall-time counters need
+// the spans), attached to the Report when tracing is on, folded into the
+// registry when metrics are on, and summarized to the logger when one is
+// configured.
+func (e *Engine) runObserved(alg match.Algorithm, src, tgt *Schema) *Report {
+	var tr *obs.Trace
+	if e.tracing || e.collect {
+		tr = obs.NewTrace()
+		if ts, ok := alg.(interface{ SetTrace(*obs.Trace) }); ok {
+			ts.SetTrace(tr)
+			defer ts.SetTrace(nil)
+		}
+	}
+	e.em.inflight.Add(1) // nil-safe: no-op without Observer.Metrics
+	start := time.Now()
+	report := reportFrom(alg, src, tgt)
+	elapsed := time.Since(start)
+	e.em.inflight.Add(-1)
+
+	var mt *obs.MatchTrace
+	partial := false
+	if tr != nil {
+		mt = tr.Finish()
+		for i := range mt.Spans {
+			partial = partial || mt.Spans[i].Partial
+		}
+		if e.tracing {
+			report.Trace = publicMatchTrace(mt)
+		}
+	}
+	if e.collect {
+		// A match whose fill was cut short by cancellation counts as
+		// cancelled, not completed; its phase time is still recorded.
+		if partial {
+			e.em.cancelled.Inc()
+		} else {
+			e.em.matches.Inc()
+			e.em.duration.Observe(elapsed.Seconds())
+			e.em.cells.Add(int64(src.Size()) * int64(tgt.Size()))
+		}
+		if mt != nil {
+			for i := range mt.Spans {
+				e.em.phaseNs[mt.Spans[i].Phase].Add(mt.Spans[i].DurationNs)
+			}
+		}
+	}
+	if e.logger != nil {
+		level, msg := slog.LevelInfo, "match complete"
+		if partial {
+			level, msg = slog.LevelWarn, "match cancelled"
+		}
+		e.logger.LogAttrs(context.Background(), level, msg,
+			slog.String("algorithm", report.Algorithm),
+			slog.String("source", src.Name()),
+			slog.String("target", tgt.Name()),
+			slog.Duration("elapsed", elapsed),
+			slog.Int("correspondences", len(report.Correspondences)),
+			slog.Float64("treeQoM", report.TreeQoM))
+	}
+	return report
 }
 
 // QoM computes the hybrid QoM breakdown of the two schema roots.
@@ -266,6 +409,14 @@ func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]
 		inner = 1
 	}
 
+	if e.logger != nil {
+		e.logger.LogAttrs(ctx, slog.LevelDebug, "matchall start",
+			slog.Int("sources", len(sources)), slog.Int("targets", len(targets)),
+			slog.Int("jobs", jobs), slog.Int("workers", workers))
+	}
+	e.em.workers.Set(int64(workers)) // nil-safe without Observer.Metrics
+	batchStart := time.Now()
+
 	type job struct{ i, j int }
 	ch := make(chan job)
 	go func() {
@@ -281,6 +432,7 @@ func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]
 		}
 	}()
 
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -288,6 +440,12 @@ func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]
 			defer wg.Done()
 			alg, release := e.algorithm(inner)
 			defer release()
+			if ds, ok := alg.(interface{ SetDone(<-chan struct{}) }); ok {
+				// Cancellation reaches into in-flight pair-table
+				// fills: the fill stops between levels and its trace
+				// span closes as partial instead of leaking open.
+				ds.SetDone(ctx.Done())
+			}
 			resetter, _ := alg.(interface{ ResetCache() })
 			for jb := range ch {
 				if resetter != nil {
@@ -296,13 +454,25 @@ func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]
 					// large batches.
 					resetter.ResetCache()
 				}
-				out[jb.i][jb.j] = reportFrom(alg, sources[jb.i], targets[jb.j])
+				out[jb.i][jb.j] = e.run(alg, sources[jb.i], targets[jb.j])
+				completed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		e.em.cancelled.Add(int64(jobs) - completed.Load())
+		if e.logger != nil {
+			e.logger.LogAttrs(context.Background(), slog.LevelWarn, "matchall cancelled",
+				slog.Int("jobs", jobs), slog.Int64("completed", completed.Load()),
+				slog.Duration("elapsed", time.Since(batchStart)))
+		}
 		return nil, err
+	}
+	if e.logger != nil {
+		e.logger.LogAttrs(ctx, slog.LevelInfo, "matchall complete",
+			slog.Int("jobs", jobs), slog.Int("workers", workers),
+			slog.Duration("elapsed", time.Since(batchStart)))
 	}
 	return out, nil
 }
@@ -313,6 +483,7 @@ func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]
 // heterogeneous web documents, those whose schema best matches a query
 // schema (§1).
 func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
+	rankStart := time.Now()
 	out := make([]Ranked, len(corpus))
 	workers := e.parallelism
 	if workers > len(corpus) {
@@ -356,6 +527,13 @@ func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
 		}
 		return out[i].Index < out[j].Index
 	})
+	if e.logger != nil {
+		e.logger.LogAttrs(context.Background(), slog.LevelInfo, "rank complete",
+			slog.String("query", query.Name()),
+			slog.Int("corpus", len(corpus)),
+			slog.Int("workers", workers),
+			slog.Duration("elapsed", time.Since(rankStart)))
+	}
 	return out
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"qmatch/internal/lingo"
 	"qmatch/internal/match"
+	"qmatch/internal/obs"
 	"qmatch/internal/xmltree"
 )
 
@@ -60,6 +61,15 @@ type resultKey struct{ src, tgt *xmltree.Node }
 // between repetitions so each measurement covers a full computation.
 func (h *Hybrid) ResetCache() { h.results = nil }
 
+// SetTrace directs the phase spans of subsequent matches into t; nil
+// disables tracing. This is the optional instrumentation hook the Engine
+// asserts on match.Algorithm values (the baselines don't implement it).
+func (h *Hybrid) SetTrace(t *obs.Trace) { h.Matcher.Trace = t }
+
+// SetDone installs the cancellation signal aborting in-flight pair-table
+// fills (see Matcher.Done); nil never aborts.
+func (h *Hybrid) SetDone(done <-chan struct{}) { h.Matcher.Done = done }
+
 // tree returns the pair table for src/tgt, reusing the memoized result
 // when the same pointers are matched again. Callers must not mutate the
 // trees between calls.
@@ -87,7 +97,7 @@ func (h *Hybrid) Match(src, tgt *xmltree.Node) []match.Correspondence {
 		}
 		scored = append(scored, match.ScoredPair{Source: p.Source, Target: p.Target, Score: p.QoM.Value})
 	}
-	return match.Select(scored, h.SelectionThreshold)
+	return match.SelectTraced(scored, h.SelectionThreshold, h.Trace)
 }
 
 // Pairs returns the full QoM table as scored pairs — the granularity

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"qmatch/internal/lingo"
+	"qmatch/internal/obs"
 	"qmatch/internal/xmltree"
 )
 
@@ -42,6 +43,17 @@ type Matcher struct {
 	// use the same thesaurus and tuning (the public package's Engine
 	// guarantees this).
 	Scores *lingo.ScoreCache
+	// Trace receives a phase span for the kernel interning and pair-table
+	// fill of each Tree call (the Fig. 3 pipeline stages). Nil — the
+	// default — disables tracing; the disabled path is a nil-check with
+	// zero allocations.
+	Trace *obs.Trace
+	// Done aborts an in-flight fill when closed: the pair-table sweep
+	// stops between source rows (sequential) or height levels (parallel),
+	// leaving the remaining cells uncomputed and the trace span marked
+	// partial with the cell count filled so far. Nil — the default —
+	// never aborts. Engine.MatchAll wires this to ctx.Done().
+	Done <-chan struct{}
 
 	// noKernel disables the interned similarity kernel and scores every
 	// cell directly — the reference path the kernel equivalence tests
@@ -140,18 +152,70 @@ func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 		m.treeParallel(r, w, par)
 	} else {
 		if !m.noKernel {
+			sp := m.Trace.StartSpan(obs.PhaseIntern)
 			r.kern = newKernel(r.srcNodes, r.tgtNodes)
 			r.kern.fill(m.Names, m.Scores)
+			if sp != nil {
+				sp.SetNodes(len(r.kern.srcLabels), len(r.kern.tgtLabels))
+				sp.SetCells(int64(len(r.kern.labels) + len(r.kern.props)))
+				sp.SetWorkers(1)
+			}
+			sp.End()
 		}
+		sp := m.Trace.StartSpan(obs.PhasePairTable)
 		tw := &treeWorker{m: m, names: m.Names, r: r, w: w}
+		partial := false
 		for _, s := range r.srcNodes {
+			if m.aborted() {
+				partial = true
+				break
+			}
 			for _, t := range r.tgtNodes {
 				tw.pair(s, t)
 			}
 		}
+		if sp != nil {
+			sp.SetNodes(len(r.srcNodes), len(r.tgtNodes))
+			sp.SetWorkers(1)
+			sp.SetCells(r.filled(partial))
+			if partial {
+				sp.MarkPartial()
+			}
+		}
+		sp.End()
 	}
 	r.Root = r.table[r.cell(src, tgt)]
 	return r
+}
+
+// aborted reports whether the Done signal has fired. Checked between
+// source rows and height levels, never per cell — the disabled path is a
+// single nil comparison.
+func (m *Matcher) aborted() bool {
+	if m.Done == nil {
+		return false
+	}
+	select {
+	case <-m.Done:
+		return true
+	default:
+		return false
+	}
+}
+
+// filled returns the number of computed pair-table cells: the whole table
+// after a completed sweep, a scan of the done flags after a partial one.
+func (r *Result) filled(partial bool) int64 {
+	if !partial {
+		return int64(len(r.table))
+	}
+	var n int64
+	for _, d := range r.done {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // parallelism resolves the effective worker bound.
@@ -204,10 +268,23 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 	// Fill the interned similarity kernel first, fanning matrix rows over
 	// the same worker pool; the level sweep below then reads it freely.
 	if !m.noKernel {
+		sp := m.Trace.StartSpan(obs.PhaseIntern)
 		r.kern = newKernel(r.srcNodes, r.tgtNodes)
 		r.kern.fillParallel(workers, m.Scores)
+		if sp != nil {
+			sp.SetNodes(len(r.kern.srcLabels), len(r.kern.tgtLabels))
+			sp.SetCells(int64(len(r.kern.labels) + len(r.kern.props)))
+			sp.SetWorkers(len(workers))
+		}
+		sp.End()
 	}
+	sp := m.Trace.StartSpan(obs.PhasePairTable)
+	partial := false
 	for _, level := range levels {
+		if m.aborted() {
+			partial = true
+			break
+		}
 		n := len(workers)
 		if n > len(level) {
 			n = len(level)
@@ -224,6 +301,9 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 			go func() {
 				defer wg.Done()
 				for s := range jobs {
+					if tw.m.aborted() {
+						return
+					}
 					for _, t := range r.tgtNodes {
 						tw.pair(s, t)
 					}
@@ -232,6 +312,16 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 		}
 		wg.Wait()
 	}
+	partial = partial || m.aborted()
+	if sp != nil {
+		sp.SetNodes(len(r.srcNodes), len(r.tgtNodes))
+		sp.SetWorkers(len(workers))
+		sp.SetCells(r.filled(partial))
+		if partial {
+			sp.MarkPartial()
+		}
+	}
+	sp.End()
 }
 
 // MatchNodes computes the QoM of a single subtree pair.

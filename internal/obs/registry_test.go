@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(1)
+	}); allocs != 0 {
+		t.Fatalf("nil instrument calls allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if r.Histogram("h", []float64{1, 2}) != r.Histogram("h", nil) {
+		t.Fatal("Histogram not idempotent")
+	}
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(-2)
+	r.GaugeFunc("f", func() int64 { return 42 })
+	for name, want := range map[string]int64{"a": 7, "b": -2, "f": 42} {
+		if got, ok := r.Value(name); !ok || got != want {
+			t.Fatalf("Value(%q) = %d, %v; want %d, true", name, got, ok, want)
+		}
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatal("Value of unregistered name reported ok")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []int64{2, 1, 1, 1} // <=0.01: {0.005, 0.01}; <=0.1: {0.05}; <=1: {0.5}; +Inf: {5}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || math.Abs(s.Sum-5.565) > 1e-9 {
+		t.Fatalf("count/sum = %d/%v", s.Count, s.Sum)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — the
+// shape of the pair-table worker pool feeding shared counters — and checks
+// the totals are exact. Run with -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Mix hot-path handle reuse with by-name lookups and
+				// lazy creation from racing goroutines.
+				r.Counter("shared").Inc()
+				r.Counter("own" + string(rune('a'+w))).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(float64(i%10) / 1000)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, _ := r.Value("shared"); got != workers*perWorker {
+		t.Fatalf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	if got, _ := r.Value("g"); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if s := r.Histogram("h", nil).snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qm_matches_total").Add(3)
+	r.Counter(`qm_phase_ns_total{phase="pairtable"}`).Add(1200)
+	r.Counter(`qm_phase_ns_total{phase="select"}`).Add(34)
+	r.Gauge("qm_inflight").Set(2)
+	r.Histogram("qm_dur_seconds", []float64{0.1, 1}).Observe(0.05)
+	r.Histogram("qm_dur_seconds", nil).Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE qm_dur_seconds histogram
+qm_dur_seconds_bucket{le="0.1"} 1
+qm_dur_seconds_bucket{le="1"} 1
+qm_dur_seconds_bucket{le="+Inf"} 2
+qm_dur_seconds_sum 2.05
+qm_dur_seconds_count 2
+# TYPE qm_inflight gauge
+qm_inflight 2
+# TYPE qm_matches_total counter
+qm_matches_total 3
+# TYPE qm_phase_ns_total counter
+qm_phase_ns_total{phase="pairtable"} 1200
+qm_phase_ns_total{phase="select"} 34
+`
+	if got != want {
+		t.Fatalf("prometheus text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.GaugeFunc("gf", func() int64 { return 9 })
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &snap); err != nil {
+		t.Fatalf("String() is not JSON: %v", err)
+	}
+	if snap.Counters["c"] != 1 || snap.Gauges["gf"] != 9 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	r.Publish("obs_test_registry")
+	if expvar.Get("obs_test_registry") == nil {
+		t.Fatal("Publish did not register")
+	}
+	r.Publish("obs_test_registry") // must not panic on re-registration
+}

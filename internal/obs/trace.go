@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names one stage of the match pipeline (paper Fig. 3): schema
+// parsing, vocabulary interning into the similarity kernel, the QoM
+// pair-table fill, and correspondence selection.
+type Phase string
+
+const (
+	PhaseParse     Phase = "parse"
+	PhaseIntern    Phase = "intern"
+	PhasePairTable Phase = "pairtable"
+	PhaseSelect    Phase = "select"
+)
+
+// Span is one finished phase of a match trace. Counts are phase-specific:
+// the intern span counts interned vocabulary entries and scored kernel
+// cells, the pair-table span counts tree nodes and filled table cells, the
+// select span counts candidate pairs (Cells) and accepted correspondences
+// (Selected). Partial marks a span closed before its phase completed —
+// a cancelled MatchAll reports the work done so far instead of leaking an
+// unfinished span.
+type Span struct {
+	Phase      Phase `json:"phase"`
+	StartNs    int64 `json:"startNs"`
+	DurationNs int64 `json:"durationNs"`
+	SrcNodes   int   `json:"srcNodes,omitempty"`
+	TgtNodes   int   `json:"tgtNodes,omitempty"`
+	Cells      int64 `json:"cells,omitempty"`
+	Workers    int   `json:"workers,omitempty"`
+	Selected   int   `json:"selected,omitempty"`
+	Partial    bool  `json:"partial,omitempty"`
+}
+
+// Trace collects the phase spans of one match. A nil *Trace is the
+// disabled instrument: StartSpan returns nil and every span method no-ops,
+// so instrumented code pays one nil-check and zero allocations when
+// tracing is off. Span begin/end may happen on any goroutine.
+type Trace struct {
+	mu       sync.Mutex
+	start    time.Time
+	spans    []Span
+	open     map[*ActiveSpan]struct{}
+	finished bool
+}
+
+// NewTrace starts an empty trace; its clock starts now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now(), open: make(map[*ActiveSpan]struct{})}
+}
+
+// StartSpan opens a span for the given phase. Returns nil (a no-op
+// handle) on a nil or already-finished trace.
+func (t *Trace) StartSpan(phase Phase) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	s := &ActiveSpan{t: t, begun: time.Now()}
+	s.span.Phase = phase
+	s.span.StartNs = s.begun.Sub(t.start).Nanoseconds()
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return nil
+	}
+	t.open[s] = struct{}{}
+	t.mu.Unlock()
+	return s
+}
+
+// ActiveSpan is an open span. All methods are no-ops on a nil receiver
+// and after End.
+type ActiveSpan struct {
+	t     *Trace
+	begun time.Time
+	span  Span
+}
+
+// SetNodes records the phase's input dimensions.
+func (s *ActiveSpan) SetNodes(src, tgt int) {
+	if s == nil {
+		return
+	}
+	s.span.SrcNodes, s.span.TgtNodes = src, tgt
+}
+
+// SetCells records how many table/matrix cells the phase touched.
+func (s *ActiveSpan) SetCells(n int64) {
+	if s == nil {
+		return
+	}
+	s.span.Cells = n
+}
+
+// SetWorkers records the phase's worker-pool parallelism.
+func (s *ActiveSpan) SetWorkers(n int) {
+	if s == nil {
+		return
+	}
+	s.span.Workers = n
+}
+
+// SetSelected records how many correspondences a selection phase kept.
+func (s *ActiveSpan) SetSelected(n int) {
+	if s == nil {
+		return
+	}
+	s.span.Selected = n
+}
+
+// MarkPartial flags the span as closed before its phase completed.
+func (s *ActiveSpan) MarkPartial() {
+	if s == nil {
+		return
+	}
+	s.span.Partial = true
+}
+
+// End closes the span and appends it to the trace. Safe to call once; a
+// second End (or an End racing Finish) is a no-op.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.t.closeSpan(s, time.Now())
+}
+
+// closeSpan finalizes s if it is still open.
+func (t *Trace) closeSpan(s *ActiveSpan, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.open[s]; !ok {
+		return
+	}
+	delete(t.open, s)
+	s.span.DurationNs = now.Sub(s.begun).Nanoseconds()
+	t.spans = append(t.spans, s.span)
+}
+
+// MatchTrace is the finished, serializable trace of one match: total wall
+// time and the phase spans, ordered by start time.
+type MatchTrace struct {
+	TotalNs int64  `json:"totalNs"`
+	Spans   []Span `json:"spans"`
+}
+
+// Finish closes the trace: any span still open is force-closed with
+// Partial set (cancellation must not leak unfinished spans), spans are
+// ordered by start time, and the total wall time is fixed. Returns nil on
+// a nil trace; calling Finish twice returns the same result.
+func (t *Trace) Finish() *MatchTrace {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.finished {
+		for s := range t.open {
+			delete(t.open, s)
+			s.span.Partial = true
+			s.span.DurationNs = now.Sub(s.begun).Nanoseconds()
+			t.spans = append(t.spans, s.span)
+		}
+		sort.SliceStable(t.spans, func(i, j int) bool {
+			return t.spans[i].StartNs < t.spans[j].StartNs
+		})
+		t.finished = true
+	}
+	mt := &MatchTrace{TotalNs: now.Sub(t.start).Nanoseconds(), Spans: make([]Span, len(t.spans))}
+	copy(mt.Spans, t.spans)
+	return mt
+}
+
+// WriteJSON streams the trace as a single JSON object.
+func (mt *MatchTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mt)
+}
+
+// Format renders the human-readable phase breakdown the qmatch -trace flag
+// prints: one line per span with duration, share of total, and the
+// phase-specific counts.
+func (mt *MatchTrace) Format() string {
+	var b strings.Builder
+	total := time.Duration(mt.TotalNs)
+	fmt.Fprintf(&b, "phase breakdown (total %s):\n", total.Round(time.Microsecond))
+	for _, s := range mt.Spans {
+		d := time.Duration(s.DurationNs)
+		pct := 0.0
+		if mt.TotalNs > 0 {
+			pct = 100 * float64(s.DurationNs) / float64(mt.TotalNs)
+		}
+		fmt.Fprintf(&b, "  %-10s %12s %6.1f%%", s.Phase, d.Round(time.Microsecond), pct)
+		if s.SrcNodes > 0 || s.TgtNodes > 0 {
+			fmt.Fprintf(&b, "  src=%d tgt=%d", s.SrcNodes, s.TgtNodes)
+		}
+		if s.Cells > 0 {
+			fmt.Fprintf(&b, " cells=%d", s.Cells)
+		}
+		if s.Workers > 0 {
+			fmt.Fprintf(&b, " workers=%d", s.Workers)
+		}
+		if s.Phase == PhaseSelect {
+			fmt.Fprintf(&b, " selected=%d", s.Selected)
+		}
+		if s.Partial {
+			b.WriteString(" (partial)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

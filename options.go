@@ -3,6 +3,7 @@ package qmatch
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -120,6 +121,9 @@ type config struct {
 	noBuiltin          bool
 	parallelism        int
 	labelCacheSize     int
+	logger             *slog.Logger
+	obsMetrics         bool
+	obsTracing         bool
 }
 
 func newConfig() *config {
@@ -198,6 +202,44 @@ func WithChildThreshold(v float64) Option {
 // reported as a correspondence.
 func WithSelectionThreshold(v float64) Option {
 	return func(c *config) { c.selectionThreshold = &v }
+}
+
+// Observer bundles the Engine's opt-in instrumentation. The zero value
+// disables everything — an Engine without an observer pays only nil-checks
+// on the match path (zero extra allocations, see the allocation gate in
+// the test suite).
+type Observer struct {
+	// Logger receives structured match-lifecycle events (match complete,
+	// MatchAll batch summaries, cancellations) via log/slog. Nil disables
+	// logging.
+	Logger *slog.Logger
+	// Metrics enables per-match collection into the Engine's registry:
+	// match counts, duration histograms, pair-table cell counters and
+	// per-phase wall time. Read the registry with Engine.WriteMetrics
+	// (Prometheus text), Engine.WriteMetricsJSON, or expvar via
+	// Engine.PublishExpvar. The label-cache gauges are always registered
+	// (they are pull-only and cost nothing at match time).
+	Metrics bool
+	// Tracing attaches a MatchTrace — per-phase spans with wall time,
+	// node/cell counts and worker parallelism — to every Report.
+	Tracing bool
+}
+
+// WithObserver installs the Engine's instrumentation: structured logging,
+// metrics collection, and per-match phase tracing (see Observer). The
+// default is everything off.
+func WithObserver(o Observer) Option {
+	return func(c *config) {
+		c.logger = o.Logger
+		c.obsMetrics = o.Metrics
+		c.obsTracing = o.Tracing
+	}
+}
+
+// WithLogger is shorthand for WithObserver(Observer{Logger: l}): structured
+// match-lifecycle logging only, metrics and tracing stay off.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
 }
 
 // WithThesaurus merges custom linguistic relations on top of the built-in

@@ -119,6 +119,10 @@ type Report struct {
 	// TreeQoM is the overall match value of the two schema roots — the
 	// "total match value presented to the user" of the paper.
 	TreeQoM float64 `json:"treeQoM"`
+	// Trace is the per-phase pipeline trace of this match. Only Engines
+	// built with Observer.Tracing attach one; it is omitted from the wire
+	// format otherwise.
+	Trace *MatchTrace `json:"trace,omitempty"`
 }
 
 // Match matches the source schema against the target schema with the

@@ -1,0 +1,8 @@
+//go:build race
+
+package qmatch_test
+
+// raceEnabled reports whether the race detector instruments this build —
+// allocation-count gates skip under it (instrumentation perturbs
+// sync.Pool retention and therefore steady-state alloc counts).
+const raceEnabled = true
