@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read the daemon's output while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`qmatchd listening on (http://[^\s]+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus the cancel that triggers graceful shutdown and the channel
+// carrying run's result.
+func startDaemon(t *testing.T, extraArgs ...string) (url string, stop context.CancelFunc, done chan error, out *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &syncBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extraArgs...)
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1], cancel, done, out
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The full lifecycle: start on an ephemeral port, serve health and one
+// match, drain cleanly on signal (ctx cancel) with exit status nil.
+func TestDaemonLifecycle(t *testing.T) {
+	url, stop, done, out := startDaemon(t)
+	defer stop()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	matchReq := `{
+  "source": {"data": "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"><xs:element name=\"PO\"/></xs:schema>"},
+  "target": {"data": "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"><xs:element name=\"PurchaseOrder\"/></xs:schema>"}
+}`
+	resp, err = http.Post(url+"/v1/match", "application/json", strings.NewReader(matchReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"algorithm": "hybrid"`)) {
+		t.Errorf("match response missing report fields: %s", body)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("qmatch_matches_total 1")) {
+		t.Errorf("metrics missing match counter:\n%s", body)
+	}
+
+	stop() // deliver the "signal"
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after graceful drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down within 5s")
+	}
+	if !strings.Contains(out.String(), "qmatchd stopped") {
+		t.Errorf("missing stop line in output:\n%s", out.String())
+	}
+}
+
+// Daemon flags configure the default engine, mirroring the qmatch CLI.
+func TestDaemonEngineFlags(t *testing.T) {
+	url, stop, done, _ := startDaemon(t, "-algorithm", "linguistic", "-threshold", "0.5")
+	defer stop()
+	matchReq := `{
+  "source": {"data": "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"><xs:element name=\"PO\"/></xs:schema>"},
+  "target": {"data": "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"><xs:element name=\"PO\"/></xs:schema>"}
+}`
+	resp, err := http.Post(url+"/v1/match", "application/json", strings.NewReader(matchReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"algorithm": "linguistic"`)) {
+		t.Errorf("-algorithm flag ignored: %s", body)
+	}
+	stop()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// Bad invocations fail fast with an error, not a hung server.
+func TestDaemonBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-algorithm", "psychic"},
+		{"-weights", "1,2"},
+		{"-log", "yaml"},
+		{"-addr", "127.0.0.1:0", "stray-arg"},
+		{"-config", "/nonexistent/config.json"},
+	}
+	for _, args := range cases {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		err := run(ctx, args, io.Discard)
+		cancel()
+		if err == nil {
+			t.Errorf("run(%q) = nil, want error", args)
+		}
+	}
+}
+
+func TestDaemonListenError(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-addr", "256.0.0.1:99999", "-quiet"}, io.Discard); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("0.4,0.2,0.2,0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Label != 0.4 || w.Properties != 0.2 || w.Level != 0.2 || w.Children != 0.2 {
+		t.Errorf("parsed %+v", w)
+	}
+	for _, bad := range []string{"", "1,2,3", "a,b,c,d", "-1,0,0,0"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) accepted", bad)
+		}
+	}
+}

@@ -330,6 +330,31 @@ func (e *Engine) runObserved(alg match.Algorithm, src, tgt *Schema) *Report {
 	return report
 }
 
+// MatchContext is Match with deadline and cancellation propagation: the
+// context's Done channel is wired into the matcher's pair-table fill, so a
+// deadline that expires mid-match aborts the fill between levels instead
+// of running to completion. On cancellation it returns ctx.Err() together
+// with the partial report the aborted match produced — correspondences
+// selected from the prefix of the pair table that was filled, and, on an
+// Engine built with Observer.Tracing, a MatchTrace whose cut-short spans
+// are marked Partial. Callers that only want complete reports must treat a
+// non-nil error as "no result"; services can serve the partial trace as a
+// timeout diagnostic (cmd/qmatchd does). A nil ctx is
+// context.Background(); with a never-cancelled context MatchContext is
+// exactly Match.
+func (e *Engine) MatchContext(ctx context.Context, src, tgt *Schema) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	alg, release := e.algorithm(e.parallelism)
+	defer release()
+	if ds, ok := alg.(interface{ SetDone(<-chan struct{}) }); ok {
+		ds.SetDone(ctx.Done())
+	}
+	report := e.run(alg, src, tgt)
+	return report, ctx.Err()
+}
+
 // QoM computes the hybrid QoM breakdown of the two schema roots.
 func (e *Engine) QoM(src, tgt *Schema) QoMBreakdown {
 	h, release := e.hybrid(e.parallelism)

@@ -1,0 +1,78 @@
+package qmatch_test
+
+import (
+	"bytes"
+	"testing"
+
+	"qmatch"
+)
+
+// FuzzWireRoundTrip feeds arbitrary bytes through both report readers.
+// Either reader may reject the input; whenever one accepts it, the
+// write→read→write cycle must be idempotent — the first serialization is
+// already the fixpoint, so a report survives any number of round trips
+// through its wire format unchanged.
+func FuzzWireRoundTrip(f *testing.F) {
+	// A real report of each format seeds the corpus, plus edge shapes.
+	src, err := qmatch.ParseSchemaString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO"><xs:complexType><xs:sequence>
+    <xs:element name="OrderNo" type="xs:integer"/>
+    <xs:element name="ShipTo" type="xs:string"/>
+  </xs:sequence></xs:complexType></xs:element></xs:schema>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	report := qmatch.Match(src, src)
+	var jsonWire, tsvWire bytes.Buffer
+	if err := report.WriteJSON(&jsonWire); err != nil {
+		f.Fatal(err)
+	}
+	if err := report.WriteTSV(&tsvWire); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(jsonWire.Bytes())
+	f.Add(tsvWire.Bytes())
+	f.Add([]byte(`{"algorithm":"hybrid","correspondences":[],"treeQoM":0.5}`))
+	f.Add([]byte("a\tb\t0.75\n# algorithm=hybrid treeQoM=0.75\n"))
+	f.Add([]byte(`{"algorithm":"x","correspondences":[{"source":"a","target":"b","score":1e-300}],"treeQoM":1}`))
+	f.Add([]byte("\t\t0\n"))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := qmatch.ReadReportJSON(bytes.NewReader(data)); err == nil {
+			checkStable(t, "json", r,
+				func(r *qmatch.Report, b *bytes.Buffer) error { return r.WriteJSON(b) },
+				func(b *bytes.Buffer) (*qmatch.Report, error) { return qmatch.ReadReportJSON(b) })
+		}
+		if r, err := qmatch.ReadReportTSV(bytes.NewReader(data)); err == nil {
+			checkStable(t, "tsv", r,
+				func(r *qmatch.Report, b *bytes.Buffer) error { return r.WriteTSV(b) },
+				func(b *bytes.Buffer) (*qmatch.Report, error) { return qmatch.ReadReportTSV(b) })
+		}
+	})
+}
+
+// checkStable asserts write→read→write reproduces the first write.
+func checkStable(t *testing.T, format string, r *qmatch.Report,
+	write func(*qmatch.Report, *bytes.Buffer) error,
+	read func(*bytes.Buffer) (*qmatch.Report, error)) {
+	t.Helper()
+	var first bytes.Buffer
+	if err := write(r, &first); err != nil {
+		t.Fatalf("%s: write accepted report failed: %v", format, err)
+	}
+	firstBytes := append([]byte(nil), first.Bytes()...)
+	back, err := read(&first)
+	if err != nil {
+		t.Fatalf("%s: our own output does not re-read: %v\n%s", format, err, firstBytes)
+	}
+	var second bytes.Buffer
+	if err := write(back, &second); err != nil {
+		t.Fatalf("%s: second write failed: %v", format, err)
+	}
+	if !bytes.Equal(firstBytes, second.Bytes()) {
+		t.Fatalf("%s: wire format not idempotent:\nfirst:\n%s\nsecond:\n%s",
+			format, firstBytes, second.Bytes())
+	}
+}

@@ -37,3 +37,30 @@ func TestParseMangled(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzParseDTD drives the DTD parser with arbitrary document/root pairs.
+// The parser must stay total and any tree it accepts must be well-formed.
+func FuzzParseDTD(f *testing.F) {
+	f.Add(`<!ELEMENT PO (OrderNo, Lines)>
+<!ELEMENT OrderNo (#PCDATA)>
+<!ELEMENT Lines (Item+, Quantity?)>
+<!ELEMENT Item (#PCDATA)>
+<!ELEMENT Quantity (#PCDATA)>
+<!ATTLIST PO id ID #REQUIRED>`, "")
+	f.Add(`<!ELEMENT a (b|c)*> <!ELEMENT b EMPTY> <!ELEMENT c ANY>`, "a")
+	f.Add(`<!ELEMENT r (#PCDATA)> <!ATTLIST r x CDATA #IMPLIED y (one|two) "one">`, "r")
+	f.Add(``, ``)
+	f.Add(`<!ELEMENT`, `missing`)
+	f.Fuzz(func(t *testing.T, data, root string) {
+		tree, err := ParseString(data, root)
+		if err != nil {
+			return
+		}
+		if tree == nil {
+			t.Fatalf("nil tree with nil error for %q root %q", data, root)
+		}
+		if tree.Label == "" {
+			t.Fatalf("parsed root has an empty label: %q root %q", data, root)
+		}
+	})
+}

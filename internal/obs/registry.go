@@ -306,6 +306,42 @@ func (r *Registry) Publish(name string) {
 	expvar.Publish(name, r)
 }
 
+// LabeledName builds an instrument name carrying a literal label block
+// from alternating key/value pairs:
+//
+//	LabeledName("http_requests_total", "route", "match", "code", "200")
+//	  => `http_requests_total{route="match",code="200"}`
+//
+// Quotes and backslashes in values are escaped per the Prometheus text
+// format. With no pairs the base name is returned unchanged. This is the
+// inverse convention of splitName: names built here expose correctly in
+// WritePrometheus, grouped under the base family.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		v := kv[i+1]
+		for j := 0; j < len(v); j++ {
+			if v[j] == '"' || v[j] == '\\' {
+				b.WriteByte('\\')
+			}
+			b.WriteByte(v[j])
+		}
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // splitName separates an instrument name into its base and an optional
 // literal label block: "foo{a=\"b\"}" -> ("foo", `a="b"`).
 func splitName(name string) (base, labels string) {

@@ -159,3 +159,50 @@ func TestSnapshotJSONAndExpvar(t *testing.T) {
 	}
 	r.Publish("obs_test_registry") // must not panic on re-registration
 }
+
+func TestLabeledName(t *testing.T) {
+	cases := []struct {
+		base string
+		kv   []string
+		want string
+	}{
+		{"m_total", nil, "m_total"},
+		{"m_total", []string{"route"}, "m_total"}, // dangling key dropped
+		{"m_total", []string{"route", "match"}, `m_total{route="match"}`},
+		{"m_total", []string{"route", "match", "code", "200"}, `m_total{route="match",code="200"}`},
+		{"m_total", []string{"q", `say "hi"`}, `m_total{q="say \"hi\""}`},
+		{"m_total", []string{"p", `a\b`}, `m_total{p="a\\b"}`},
+	}
+	for _, tc := range cases {
+		if got := LabeledName(tc.base, tc.kv...); got != tc.want {
+			t.Errorf("LabeledName(%q, %q) = %q, want %q", tc.base, tc.kv, got, tc.want)
+		}
+	}
+}
+
+// Names built by LabeledName round-trip through the exposition path:
+// splitName recovers the base so WritePrometheus groups the series under
+// one family, and histogram labels merge with the le bucket label.
+func TestLabeledNamePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("rt_total", "route", "a")).Add(1)
+	r.Counter(LabeledName("rt_total", "route", "b", "code", "200")).Add(2)
+	r.Histogram(LabeledName("rt_seconds", "route", "a"), []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE rt_seconds histogram
+rt_seconds_bucket{route="a",le="1"} 1
+rt_seconds_bucket{route="a",le="+Inf"} 1
+rt_seconds_sum{route="a"} 0.5
+rt_seconds_count{route="a"} 1
+# TYPE rt_total counter
+rt_total{route="a"} 1
+rt_total{route="b",code="200"} 2
+`
+	if got != want {
+		t.Fatalf("prometheus text:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"qmatch/internal/obs"
+)
+
+// ErrSaturated is returned by limiter.acquire when both the running-slot
+// pool and the wait queue are full — the caller sheds the request with
+// 429 instead of letting unbounded work pile up behind the matcher.
+var ErrSaturated = errors.New("serve: limiter saturated")
+
+// limiter bounds the matching work a server performs: at most maxConcurrent
+// requests hold a slot at once, at most maxQueue more wait for one, and
+// everything beyond that is rejected immediately. The queue-depth gauge
+// and shed counter live in the server's HTTP metrics registry.
+type limiter struct {
+	sem      chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	depth    *obs.Gauge
+	shed     *obs.Counter
+}
+
+func newLimiter(maxConcurrent, maxQueue int, depth *obs.Gauge, shed *obs.Counter) *limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+		depth:    depth,
+		shed:     shed,
+	}
+}
+
+// acquire takes a slot, waiting in the bounded queue when all slots are
+// busy. It returns ErrSaturated when the queue is full (shed the request),
+// or ctx.Err() when the request deadline expires while queued. Every nil
+// return must be paired with a release.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shed.Inc()
+		return ErrSaturated
+	}
+	l.depth.Set(l.queued.Load())
+	defer func() {
+		l.queued.Add(-1)
+		l.depth.Set(l.queued.Load())
+	}()
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.sem }

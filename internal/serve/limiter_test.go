@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qmatch/internal/obs"
+)
+
+func testLimiter(maxConcurrent, maxQueue int) (*limiter, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return newLimiter(maxConcurrent, maxQueue,
+		reg.Gauge(MetricQueueDepth), reg.Counter(MetricShed)), reg
+}
+
+func TestLimiterAcquireRelease(t *testing.T) {
+	l, _ := testLimiter(2, 0)
+	ctx := context.Background()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Both slots busy, no queue: immediate shed.
+	if err := l.acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	l.release()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatalf("slot freed but acquire failed: %v", err)
+	}
+	l.release()
+	l.release()
+}
+
+func TestLimiterQueueThenProceed(t *testing.T) {
+	l, reg := testLimiter(1, 1)
+	ctx := context.Background()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	queued := make(chan error, 1)
+	go func() { queued <- l.acquire(ctx) }()
+	// Wait for the goroutine to register in the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, _ := reg.Value(MetricQueueDepth); v == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue depth never reached 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full now: the next acquire sheds and counts it.
+	if err := l.acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if shed, _ := reg.Value(MetricShed); shed != 1 {
+		t.Errorf("shed = %d, want 1", shed)
+	}
+
+	l.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire failed after release: %v", err)
+	}
+	if v, _ := reg.Value(MetricQueueDepth); v != 0 {
+		t.Errorf("queue depth after dequeue = %d, want 0", v)
+	}
+	l.release()
+}
+
+func TestLimiterQueuedContextExpiry(t *testing.T) {
+	l, reg := testLimiter(1, 4)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer l.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := l.acquire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if v, _ := reg.Value(MetricQueueDepth); v != 0 {
+		t.Errorf("queue depth after expiry = %d, want 0", v)
+	}
+}
+
+func TestLimiterConcurrentStress(t *testing.T) {
+	l, reg := testLimiter(3, 2)
+	var wg sync.WaitGroup
+	var admitted, saturated sync.Map
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+			defer cancel()
+			if err := l.acquire(ctx); err != nil {
+				saturated.Store(i, err)
+				return
+			}
+			admitted.Store(i, true)
+			time.Sleep(time.Millisecond)
+			l.release()
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	admitted.Range(func(_, _ any) bool { n++; return true })
+	if n == 0 {
+		t.Error("no request admitted")
+	}
+	if v, _ := reg.Value(MetricQueueDepth); v != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", v)
+	}
+}

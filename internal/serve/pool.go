@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+
+	"qmatch"
+)
+
+// engineKey identifies the Engine an override combination compiles to.
+// Engines are immutable once built (frozen algorithm, weights, thresholds,
+// thesaurus), so requests with equal keys share one safely.
+type engineKey struct {
+	alg        qmatch.Algorithm
+	threshold  float64
+	hasThresh  bool
+	weights    [4]float64
+	hasWeights bool
+	trace      bool
+}
+
+func keyOf(o matchOptions) (engineKey, error) {
+	k := engineKey{trace: o.Trace}
+	if o.Algorithm != "" {
+		alg, err := qmatch.ParseAlgorithm(o.Algorithm)
+		if err != nil {
+			return engineKey{}, err
+		}
+		k.alg = alg
+	}
+	if o.Threshold != nil {
+		k.threshold, k.hasThresh = *o.Threshold, true
+	}
+	if o.Weights != nil {
+		k.weights = [4]float64{o.Weights.Label, o.Weights.Properties, o.Weights.Level, o.Weights.Children}
+		k.hasWeights = true
+	}
+	return k, nil
+}
+
+// isDefault reports whether the key selects the server's default Engine.
+func (k engineKey) isDefault() bool {
+	return k == engineKey{}
+}
+
+// engineFor resolves the Engine serving one request's overrides: the
+// default Engine when there are none, otherwise a pooled Engine compiled
+// from the server's base options plus the overrides. Invalid overrides
+// (unknown algorithm, out-of-range threshold, bad weights) surface as the
+// construction error, which handlers map to 400. The pool is bounded by
+// Config.MaxEngines; misses on a full pool build a throwaway Engine.
+func (s *Server) engineFor(o matchOptions) (*qmatch.Engine, error) {
+	key, err := keyOf(o)
+	if err != nil {
+		return nil, err
+	}
+	if key.isDefault() {
+		return s.engine, nil
+	}
+	s.mu.Lock()
+	eng := s.engines[key]
+	s.mu.Unlock()
+	if eng != nil {
+		return eng, nil
+	}
+
+	opts := append(s.cfg.Options[:len(s.cfg.Options):len(s.cfg.Options)],
+		qmatch.WithObserver(qmatch.Observer{Logger: s.logger, Tracing: key.trace}))
+	if key.alg != "" {
+		opts = append(opts, qmatch.WithAlgorithm(key.alg))
+	}
+	if key.hasThresh {
+		opts = append(opts, qmatch.WithSelectionThreshold(key.threshold))
+	}
+	if key.hasWeights {
+		opts = append(opts, qmatch.WithWeights(qmatch.Weights{
+			Label:      key.weights[0],
+			Properties: key.weights[1],
+			Level:      key.weights[2],
+			Children:   key.weights[3],
+		}))
+	}
+	eng, err = qmatch.NewEngine(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("invalid match options: %w", err)
+	}
+	s.builds.Inc()
+
+	s.mu.Lock()
+	if cached := s.engines[key]; cached != nil {
+		// Lost a build race; the first Engine wins so concurrent equal
+		// requests keep sharing caches.
+		eng = cached
+	} else if len(s.engines) < s.cfg.MaxEngines {
+		s.engines[key] = eng
+		s.pooled.Set(int64(len(s.engines)))
+	}
+	s.mu.Unlock()
+	if s.logger != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelDebug, "engine built",
+			slog.String("algorithm", string(eng.Algorithm())),
+			slog.Bool("trace", key.trace))
+	}
+	return eng, nil
+}

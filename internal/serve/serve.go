@@ -1,0 +1,429 @@
+// Package serve implements qmatchd, the network-facing entry point of the
+// matcher: an HTTP service exposing the Engine's match, batch-match and
+// rank operations over untrusted schemas, hardened for long-running
+// deployments — bounded request bodies, a concurrency limiter with
+// load-shedding, per-request deadlines propagated into the pair-table
+// fill, Prometheus metrics and structured access logs, and draining
+// shutdown. See DESIGN.md §9 for the architecture.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qmatch"
+	"qmatch/internal/obs"
+)
+
+// The service's HTTP metric names, maintained in the server's own
+// registry (the Engine's match metrics live in the Engine registry; GET
+// /metrics exposes both). Request counters and duration histograms carry
+// route (and for counters, status code) labels.
+const (
+	MetricHTTPRequests  = "qmatchd_http_requests_total"
+	MetricHTTPDuration  = "qmatchd_http_request_duration_seconds"
+	MetricHTTPInflight  = "qmatchd_http_inflight_requests"
+	MetricQueueDepth    = "qmatchd_http_queue_depth"
+	MetricShed          = "qmatchd_http_shed_total"
+	MetricEngineBuilds  = "qmatchd_engine_builds_total"
+	MetricEnginesPooled = "qmatchd_engines_pooled"
+)
+
+// Config tunes a Server. The zero value is usable: every limit falls back
+// to the documented default.
+type Config struct {
+	// Options configure the server's default Engine and seed every
+	// pooled per-request-override Engine (algorithm, weights,
+	// thesaurus, parallelism, ...).
+	Options []qmatch.Option
+	// Logger receives structured access logs and Engine lifecycle
+	// events. Nil disables logging.
+	Logger *slog.Logger
+	// MaxConcurrent bounds the matches running at once (default
+	// GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds the requests waiting for a match slot; beyond it
+	// requests are shed with 429. Negative selects 2×MaxConcurrent;
+	// 0 disables queueing (shed as soon as all slots are busy).
+	MaxQueue int
+	// MaxBodyBytes caps request bodies; larger requests fail with 413
+	// (default 4 MiB).
+	MaxBodyBytes int64
+	// MaxPairs caps the schema-pair grid of one request —
+	// len(sources)×len(targets) for /v1/matchall, len(corpus) for
+	// /v1/rank (default 4096). Oversized grids fail with 400.
+	MaxPairs int
+	// DefaultTimeout bounds a request's matching work when the request
+	// carries no timeoutMs (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts (default 60s).
+	MaxTimeout time.Duration
+	// MaxEngines bounds the pool of per-override Engines (default 8).
+	// Requests whose override key misses a full pool still succeed on
+	// a throwaway Engine; only reuse is lost.
+	MaxEngines int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxEngines < 1 {
+		c.MaxEngines = 8
+	}
+	return c
+}
+
+// Server is the qmatchd HTTP service: a default Engine (which owns the
+// match metrics the /metrics endpoint exposes), a bounded pool of
+// per-override Engines, the concurrency limiter, and the HTTP metrics
+// registry. Construct with New, mount Handler() on an http.Server, call
+// Drain before shutting the http.Server down.
+type Server struct {
+	cfg    Config
+	logger *slog.Logger
+
+	engine *qmatch.Engine // default engine; owns qmatch_* metrics
+
+	mu      sync.Mutex
+	engines map[engineKey]*qmatch.Engine
+
+	reg      *obs.Registry // HTTP metrics
+	limiter  *limiter
+	inflight *obs.Gauge
+	builds   *obs.Counter
+	pooled   *obs.Gauge
+
+	draining atomic.Bool
+
+	// holdMatch, when non-nil, runs inside the limited section of every
+	// matching request, after the slot is acquired and the deadline
+	// context started, before the Engine runs. Tests use it to pin the
+	// limiter saturated or to force a deadline past expiry
+	// deterministically.
+	holdMatch func()
+}
+
+// New builds a Server, compiling the default Engine from cfg.Options. The
+// default Engine always collects match metrics and logs through
+// cfg.Logger; tracing engines are pooled on demand when requests ask for
+// traces.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		logger:  cfg.Logger,
+		engines: make(map[engineKey]*qmatch.Engine),
+		reg:     obs.NewRegistry(),
+	}
+	eng, err := qmatch.NewEngine(append(cfg.Options[:len(cfg.Options):len(cfg.Options)],
+		qmatch.WithObserver(qmatch.Observer{Logger: cfg.Logger, Metrics: true}))...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: default engine: %w", err)
+	}
+	s.engine = eng
+	s.inflight = s.reg.Gauge(MetricHTTPInflight)
+	s.builds = s.reg.Counter(MetricEngineBuilds)
+	s.pooled = s.reg.Gauge(MetricEnginesPooled)
+	s.limiter = newLimiter(cfg.MaxConcurrent, cfg.MaxQueue,
+		s.reg.Gauge(MetricQueueDepth), s.reg.Counter(MetricShed))
+	s.builds.Inc()
+	return s, nil
+}
+
+// Engine returns the server's default Engine (the one /metrics scrapes).
+func (s *Server) Engine() *qmatch.Engine { return s.engine }
+
+// Drain moves the server into shutdown: /healthz turns 503 so load
+// balancers stop routing here, and new matching requests are refused with
+// 503, while requests already past admission keep running — pair with
+// http.Server.Shutdown, which waits for those in-flight handlers.
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) && s.logger != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "draining")
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/match     one schema pair    → Report (library wire format)
+//	POST /v1/matchall  sources×targets    → {"reports": [[Report...]...]}
+//	POST /v1/rank      query vs corpus    → {"ranked": [...]}
+//	GET  /healthz      liveness           → 200 "ok" / 503 "draining"
+//	GET  /metrics      Prometheus text: Engine + HTTP registries
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/match", s.instrument("match", s.handleMatch))
+	mux.Handle("POST /v1/matchall", s.instrument("matchall", s.handleMatchAll))
+	mux.Handle("POST /v1/rank", s.instrument("rank", s.handleRank))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// statusWriter captures the response status for metrics and access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with the request body cap, in-flight
+// gauge, per-route duration histogram, per-route/status counter and the
+// structured access log.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	dur := s.reg.Histogram(obs.LabeledName(MetricHTTPDuration, "route", route), nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.inflight.Add(1)
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.inflight.Add(-1)
+		dur.Observe(elapsed.Seconds())
+		s.reg.Counter(obs.LabeledName(MetricHTTPRequests,
+			"route", route, "code", strconv.Itoa(sw.status))).Inc()
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("status", sw.status),
+				slog.Duration("elapsed", elapsed),
+				slog.String("remote", r.RemoteAddr))
+		}
+	})
+}
+
+// timeout resolves the effective deadline of one request.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// limited runs fn under the server's admission control: refused while
+// draining (503), shed when the limiter saturates (429), 504 when the
+// deadline expires while queued. fn receives the deadline context.
+func (s *Server) limited(w http.ResponseWriter, r *http.Request, timeoutMs int64, fn func(ctx context.Context)) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMs))
+	defer cancel()
+	if err := s.limiter.acquire(ctx); err != nil {
+		if errors.Is(err, ErrSaturated) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "match capacity saturated, retry later")
+			return
+		}
+		writeError(w, http.StatusGatewayTimeout, "deadline expired while queued for a match slot")
+		return
+	}
+	defer s.limiter.release()
+	if s.holdMatch != nil {
+		s.holdMatch()
+	}
+	fn(ctx)
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	src, err := req.Source.parse("source")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tgt, err := req.Target.parse("target")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	eng, err := s.engineFor(req.matchOptions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.limited(w, r, req.TimeoutMs, func(ctx context.Context) {
+		report, err := eng.MatchContext(ctx, src, tgt)
+		if err != nil {
+			s.writeDeadline(w, report, err)
+			return
+		}
+		// Serve the report through the library serializer so the body
+		// is byte-identical to Engine.Match wire output.
+		w.Header().Set("Content-Type", "application/json")
+		_ = report.WriteJSON(w)
+	})
+}
+
+func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
+	var req MatchAllRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Sources) == 0 || len(req.Targets) == 0 {
+		writeError(w, http.StatusBadRequest, "need at least one source and one target schema")
+		return
+	}
+	if pairs := len(req.Sources) * len(req.Targets); pairs > s.cfg.MaxPairs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("grid of %d pairs exceeds the %d-pair limit", pairs, s.cfg.MaxPairs))
+		return
+	}
+	sources, err := parseAll(req.Sources, "sources")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	targets, err := parseAll(req.Targets, "targets")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	eng, err := s.engineFor(req.matchOptions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.limited(w, r, req.TimeoutMs, func(ctx context.Context) {
+		reports, err := eng.MatchAll(ctx, sources, targets)
+		if err != nil {
+			s.writeDeadline(w, nil, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, MatchAllResponse{Reports: reports})
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req RankRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Corpus) == 0 {
+		writeError(w, http.StatusBadRequest, "need at least one corpus schema")
+		return
+	}
+	if len(req.Corpus) > s.cfg.MaxPairs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("corpus of %d schemas exceeds the %d-pair limit", len(req.Corpus), s.cfg.MaxPairs))
+		return
+	}
+	query, err := req.Query.parse("query")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	corpus, err := parseAll(req.Corpus, "corpus")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	eng, err := s.engineFor(req.matchOptions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.limited(w, r, req.TimeoutMs, func(ctx context.Context) {
+		// Rank through MatchAll so the request deadline reaches into
+		// in-flight fills; one query row over the corpus yields the
+		// same scores and correspondences as Engine.Rank.
+		rows, err := eng.MatchAll(ctx, []*qmatch.Schema{query}, corpus)
+		if err != nil {
+			s.writeDeadline(w, nil, err)
+			return
+		}
+		ranked := make([]RankedResult, len(corpus))
+		for i, rep := range rows[0] {
+			ranked[i] = RankedResult{
+				Index:           i,
+				Score:           rep.TreeQoM,
+				Correspondences: rep.Correspondences,
+			}
+		}
+		sort.SliceStable(ranked, func(i, j int) bool {
+			if ranked[i].Score != ranked[j].Score {
+				return ranked[i].Score > ranked[j].Score
+			}
+			return ranked[i].Index < ranked[j].Index
+		})
+		writeJSON(w, http.StatusOK, RankResponse{Ranked: ranked})
+	})
+}
+
+// writeDeadline serves the 504 of an expired match. When the aborted
+// match produced a partial report with a trace (Observer.Tracing engines),
+// the trace rides along as the timeout diagnostic: its cut-short spans are
+// marked partial and count the work done before the abort.
+func (s *Server) writeDeadline(w http.ResponseWriter, report *qmatch.Report, err error) {
+	body := errorBody{Error: fmt.Sprintf("match aborted: %v", err)}
+	if report != nil && report.Trace != nil {
+		body.Trace = report.Trace
+	}
+	writeJSON(w, http.StatusGatewayTimeout, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics writes the default Engine's registry (match counters,
+// durations, label-cache gauges) followed by the server's HTTP registry,
+// both in the Prometheus text format. Pooled per-override Engines keep
+// their own registries and are not scraped here.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.engine.WriteMetrics(w); err != nil {
+		return
+	}
+	_ = s.reg.WritePrometheus(w)
+}

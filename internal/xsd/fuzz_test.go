@@ -77,3 +77,49 @@ func TestRenderParseIdempotentOnCorpus(t *testing.T) {
 		}
 	}
 }
+
+// FuzzParseXSD drives the schema parser with arbitrary documents. The
+// parser must be total (error or tree, never a panic), every parsed tree
+// must be well-formed, and one Render→Parse cycle must reach a fixpoint:
+// re-rendering the re-parsed tree reproduces the same tree.
+func FuzzParseXSD(f *testing.F) {
+	f.Add(Render(dataset.PO1()))
+	f.Add(Render(dataset.PO2()))
+	f.Add(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="PO" type="xs:string"/></xs:schema>`)
+	f.Add(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO"><xs:complexType><xs:sequence minOccurs="0">
+    <xs:element name="Item" maxOccurs="unbounded"/>
+  </xs:sequence><xs:attribute name="id" use="required"/></xs:complexType></xs:element>
+</xs:schema>`)
+	f.Add(`<xs:schema xmlns:xs="x"><xs:element/></xs:schema>`)
+	f.Add(`not xml at all`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tree, err := ParseString(data)
+		if err != nil {
+			return
+		}
+		ok := true
+		tree.Walk(func(n *xmltree.Node) bool {
+			if n.Label == "" {
+				ok = false
+			}
+			return ok
+		})
+		if !ok {
+			t.Fatalf("parsed tree has an empty label: %q", data)
+		}
+		// Render can emit labels that do not re-parse (names are not
+		// escaped); when the cycle does re-parse, it must be a fixpoint.
+		back, err := ParseString(Render(tree))
+		if err != nil {
+			return
+		}
+		again, err := ParseString(Render(back))
+		if err != nil {
+			t.Fatalf("second re-parse failed after the first succeeded: %v", err)
+		}
+		if !xmltree.Equal(back, again) {
+			t.Fatalf("render/parse cycle not idempotent for %q", data)
+		}
+	})
+}

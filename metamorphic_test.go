@@ -1,0 +1,211 @@
+// Metamorphic properties of the matcher: relations that must hold between
+// the outputs of related inputs, checked over internal/synth-generated
+// schema families. Unlike the golden tests these need no oracle — the
+// algorithm's own structure supplies the expected relation.
+package qmatch_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"qmatch"
+	"qmatch/internal/synth"
+	"qmatch/internal/xmltree"
+	"qmatch/internal/xsd"
+)
+
+// synthPair generates a schema and a shape-preserving variant (renames,
+// reorders, retypes, optionalizations — no drops, so both trees keep the
+// same node set).
+func synthPair(t *testing.T, seed int64) (*qmatch.Schema, *qmatch.Schema) {
+	t.Helper()
+	a := synth.Generate(synth.Config{Seed: seed, Elements: 25, MaxDepth: 4, MaxChildren: 5, AttributeRatio: 0.2})
+	b, _ := synth.Derive(a, synth.MutationConfig{
+		Seed:            seed + 1,
+		RenameProb:      0.4,
+		ReorderProb:     0.3,
+		RetypeProb:      0.3,
+		OptionalizeProb: 0.3,
+	})
+	return schemaOf(t, a), schemaOf(t, b)
+}
+
+func schemaOf(t *testing.T, tree *xmltree.Node) *qmatch.Schema {
+	t.Helper()
+	s, err := qmatch.ParseSchemaString(xsd.Render(tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newEngine(t *testing.T, opts ...qmatch.Option) *qmatch.Engine {
+	t.Helper()
+	eng, err := qmatch.NewEngine(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// Swapping source and target must not change the match quality: the QoM
+// model scores node pairs symmetrically, so for algorithms whose tree
+// score aggregates the same pair table in both directions (hybrid,
+// linguistic, cupid) the tree QoM and the number of selected
+// correspondences are direction-independent on equal-shape trees.
+// (structural is excluded by design: its bottom-up aggregation is
+// directional.)
+func TestMetamorphicSwapSymmetry(t *testing.T) {
+	for _, alg := range []qmatch.Algorithm{qmatch.Hybrid, qmatch.Linguistic, qmatch.Cupid} {
+		eng := newEngine(t, qmatch.WithAlgorithm(alg))
+		for seed := int64(1); seed <= 5; seed++ {
+			a, b := synthPair(t, seed)
+			fwd := eng.Match(a, b)
+			rev := eng.Match(b, a)
+			if d := fwd.TreeQoM - rev.TreeQoM; d > 1e-9 || d < -1e-9 {
+				t.Errorf("%s seed %d: tree QoM not symmetric: %v vs %v",
+					alg, seed, fwd.TreeQoM, rev.TreeQoM)
+			}
+			if len(fwd.Correspondences) != len(rev.Correspondences) {
+				t.Errorf("%s seed %d: |Rs| not symmetric: %d vs %d",
+					alg, seed, len(fwd.Correspondences), len(rev.Correspondences))
+			}
+		}
+	}
+}
+
+// renamed returns a copy of the tree with every label rewritten through a
+// deterministic injective map shared by both trees of a pair: distinct
+// labels stay distinct, equal labels stay equal, and the new labels are
+// opaque tokens carrying no linguistic signal.
+func renamed(trees ...*xmltree.Node) []*xmltree.Node {
+	labels := map[string]string{}
+	for _, tree := range trees {
+		tree.Walk(func(n *xmltree.Node) bool {
+			labels[n.Label] = ""
+			return true
+		})
+	}
+	distinct := make([]string, 0, len(labels))
+	for l := range labels {
+		distinct = append(distinct, l)
+	}
+	sort.Strings(distinct)
+	for i, l := range distinct {
+		labels[l] = fmt.Sprintf("zq%dx", i)
+	}
+	out := make([]*xmltree.Node, len(trees))
+	for i, tree := range trees {
+		out[i] = cloneRenamed(tree, labels)
+	}
+	return out
+}
+
+func cloneRenamed(n *xmltree.Node, labels map[string]string) *xmltree.Node {
+	c := xmltree.New(labels[n.Label], n.Props)
+	for _, child := range n.Children {
+		c.Add(cloneRenamed(child, labels))
+	}
+	return c
+}
+
+// Consistently renaming every label must not change what a label-blind
+// score sees: the structural algorithm's tree QoM is exactly invariant,
+// as is the hybrid algorithm with the label axis weighted to zero. With
+// default weights, invariance holds for self-matches: the renamed pair
+// (σa, σa') where a' is a clone of a scores exactly like (a, a'), since
+// every compared label pair is still an exact-equality pair.
+func TestMetamorphicRenameInvariance(t *testing.T) {
+	structural := newEngine(t, qmatch.WithAlgorithm(qmatch.Structural))
+	labelBlind := newEngine(t, qmatch.WithWeights(qmatch.Weights{Label: 0, Properties: 0.4, Level: 0.3, Children: 0.3}))
+	hybrid := newEngine(t)
+
+	for seed := int64(1); seed <= 5; seed++ {
+		a := synth.Generate(synth.Config{Seed: seed, Elements: 20, MaxDepth: 4, MaxChildren: 4, AttributeRatio: 0.2})
+		b, _ := synth.Derive(a, synth.MutationConfig{Seed: seed + 1, ReorderProb: 0.4, RetypeProb: 0.4, OptionalizeProb: 0.3})
+		sigma := renamed(a, b)
+		sa, sb := schemaOf(t, a), schemaOf(t, b)
+		ra, rb := schemaOf(t, sigma[0]), schemaOf(t, sigma[1])
+
+		plain := structural.Match(sa, sb)
+		ren := structural.Match(ra, rb)
+		if plain.TreeQoM != ren.TreeQoM {
+			t.Errorf("structural seed %d: rename changed tree QoM: %v vs %v",
+				seed, plain.TreeQoM, ren.TreeQoM)
+		}
+
+		plain = labelBlind.Match(sa, sb)
+		ren = labelBlind.Match(ra, rb)
+		if plain.TreeQoM != ren.TreeQoM {
+			t.Errorf("label-weight-0 seed %d: rename changed tree QoM: %v vs %v",
+				seed, plain.TreeQoM, ren.TreeQoM)
+		}
+		if len(plain.Correspondences) != len(ren.Correspondences) {
+			t.Errorf("label-weight-0 seed %d: rename changed |Rs|: %d vs %d",
+				seed, len(plain.Correspondences), len(ren.Correspondences))
+		}
+
+		// Self-match: a against a structural clone of itself, renamed
+		// consistently. Every label comparison is identity either way.
+		clone := cloneRenamed(a, identityLabels(a))
+		sigmaSelf := renamed(a, clone)
+		selfPlain := hybrid.Match(schemaOf(t, a), schemaOf(t, clone))
+		selfRen := hybrid.Match(schemaOf(t, sigmaSelf[0]), schemaOf(t, sigmaSelf[1]))
+		if selfPlain.TreeQoM != selfRen.TreeQoM {
+			t.Errorf("self-match seed %d: rename changed tree QoM: %v vs %v",
+				seed, selfPlain.TreeQoM, selfRen.TreeQoM)
+		}
+	}
+}
+
+func identityLabels(tree *xmltree.Node) map[string]string {
+	labels := map[string]string{}
+	tree.Walk(func(n *xmltree.Node) bool {
+		labels[n.Label] = n.Label
+		return true
+	})
+	return labels
+}
+
+// Raising the selection threshold can only remove correspondences, never
+// add or change them: greedy selection visits pairs in the same order, so
+// the Rs at a higher threshold is exactly the prefix of pairs scoring at
+// or above it — a subset of the Rs at any lower threshold.
+func TestMetamorphicThresholdMonotonicity(t *testing.T) {
+	thresholds := []float64{0.3, 0.5, 0.7, 0.9}
+	for _, alg := range []qmatch.Algorithm{qmatch.Hybrid, qmatch.Linguistic} {
+		for seed := int64(1); seed <= 4; seed++ {
+			a, b := synthPair(t, seed)
+			var prev map[string]float64
+			prevCount := -1
+			for i, th := range thresholds {
+				eng := newEngine(t, qmatch.WithAlgorithm(alg), qmatch.WithSelectionThreshold(th))
+				report := eng.Match(a, b)
+				cur := map[string]float64{}
+				for _, c := range report.Correspondences {
+					if c.Score < th {
+						t.Errorf("%s seed %d t=%v: selected pair below threshold: %+v", alg, seed, th, c)
+					}
+					cur[c.Source+"\x00"+c.Target] = c.Score
+				}
+				if prev != nil {
+					if len(cur) > prevCount {
+						t.Errorf("%s seed %d: |Rs| grew when threshold rose to %v: %d > %d",
+							alg, seed, th, len(cur), prevCount)
+					}
+					for key, score := range cur {
+						if pscore, ok := prev[key]; !ok {
+							t.Errorf("%s seed %d t=%v: pair %q absent at threshold %v",
+								alg, seed, th, key, thresholds[i-1])
+						} else if pscore != score {
+							t.Errorf("%s seed %d t=%v: pair %q rescored %v -> %v",
+								alg, seed, th, key, pscore, score)
+						}
+					}
+				}
+				prev, prevCount = cur, len(cur)
+			}
+		}
+	}
+}
