@@ -17,6 +17,7 @@
 //	qbench -ext instances     # extension: instance evidence under renames
 //	qbench -ext parallel      # extension: MatchAll batch scaling vs workers
 //	qbench -ext pairtable     # extension: pair-table fill vs interned pairs
+//	qbench -ext compiled      # extension: re-parse per match vs compiled artifacts
 //	qbench -reps N         # repetitions for runtime measurements (default 3)
 //	qbench -fast           # skip the slow experiments (Figure 4's protein
 //	                       # workload and the full Table 2 sweep)
@@ -113,6 +114,16 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, bench.FormatParallel(rows))
+		case "compiled":
+			pairs := dataset.Pairs()
+			if *fast {
+				pairs = pairs[:3] // drop the 3984-element protein workload
+			}
+			rows, err := bench.CompiledLatency(pairs, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, bench.FormatCompiled(rows))
 		case "pairtable":
 			pairs := dataset.Pairs()
 			if *fast {

@@ -8,13 +8,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/match     match one schema pair; response is the Report
-//	                   wire format, byte-identical to the qmatch CLI's
-//	                   -format json output
-//	POST /v1/matchall  match a sources×targets grid in one request
-//	POST /v1/rank      rank a corpus against a query schema
-//	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      Prometheus text: Engine match metrics + HTTP metrics
+//	POST   /v1/match        match one schema pair; response is the Report
+//	                        wire format, byte-identical to the qmatch CLI's
+//	                        -format json output
+//	POST   /v1/matchall     match a sources×targets grid in one request
+//	POST   /v1/rank         rank a corpus against a query schema
+//	PUT    /v1/schemas/{id} compile and register a schema in the registry
+//	GET    /v1/schemas/{id} inspect one registered schema
+//	DELETE /v1/schemas/{id} unregister a schema
+//	GET    /v1/schemas      list the registry
+//	POST   /v1/search       rank the registered corpus against a query
+//	                        schema (top-K prefilter + full QoM)
+//	GET    /healthz         liveness (503 while draining)
+//	GET    /metrics         Prometheus text: Engine match metrics + HTTP metrics
 //
 // Flags:
 //
@@ -31,6 +37,9 @@
 //	-max-pairs N                              per-request schema-pair cap (default 4096)
 //	-timeout DUR                              default per-request deadline (default 10s)
 //	-max-timeout DUR                          clamp on request-supplied deadlines (default 60s)
+//	-registry DIR                             persist registered schemas as artifact blobs
+//	                                          in DIR (default: in-memory only)
+//	-max-schemas N                            registry capacity (default 4096)
 //	-drain DUR                                shutdown drain budget (default 15s)
 //	-log text|json                            access/lifecycle log format (default text)
 //	-quiet                                    disable logging
@@ -89,6 +98,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxPairs := fs.Int("max-pairs", 4096, "per-request schema-pair cap")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "clamp on request-supplied deadlines")
+	registryDir := fs.String("registry", "", "persist registered schemas as artifact blobs in this directory")
+	maxSchemas := fs.Int("max-schemas", 0, "registry capacity (0 = default 4096)")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown drain budget")
 	logFormat := fs.String("log", "text", "log format: text or json")
 	quiet := fs.Bool("quiet", false, "disable logging")
@@ -116,6 +127,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxPairs:       *maxPairs,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		RegistryDir:    *registryDir,
+		MaxSchemas:     *maxSchemas,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,249 @@
+// Command qregistry manages a directory-backed registry of compiled
+// schema artifacts — the same store qmatchd serves with -registry — and
+// runs the top-K corpus search against it offline.
+//
+// Usage:
+//
+//	qregistry compile -o FILE [-tokens] SCHEMA        compile a schema to an artifact blob
+//	qregistry inspect FILE...                          print artifact metadata
+//	qregistry -dir DIR put [-tokens] ID SCHEMA         compile and register a schema
+//	qregistry -dir DIR list                            list registered schemas
+//	qregistry -dir DIR delete ID                       unregister a schema
+//	qregistry -dir DIR search [-k N] [-tokens] SCHEMA  rank the corpus against a query
+//
+// Schema files parse by extension: .xsd (XML Schema), .dtd (DTD, first
+// declared element as root), .xml (schema inference from an instance
+// document). The -tokens flag compiles the artifact's prefilter
+// vocabulary with label tokens (see qmatch.WithLabelTokens); use it
+// consistently across a corpus and its queries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qmatch"
+	"qmatch/internal/registry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qregistry:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: qregistry [-dir DIR] compile|inspect|put|list|delete|search ... (run with a subcommand)")
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qregistry", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	dir := fs.String("dir", "", "registry directory (required for put/list/delete/search)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return usage()
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "compile":
+		return cmdCompile(rest, out)
+	case "inspect":
+		return cmdInspect(rest, out)
+	case "put":
+		return cmdPut(*dir, rest, out)
+	case "list":
+		return cmdList(*dir, rest, out)
+	case "delete":
+		return cmdDelete(*dir, rest, out)
+	case "search":
+		return cmdSearch(*dir, rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q: %w", cmd, usage())
+	}
+}
+
+// loadSchema parses one schema file by extension.
+func loadSchema(path string) (*qmatch.Schema, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".xsd":
+		return qmatch.ParseSchemaFile(path)
+	case ".dtd":
+		return qmatch.ParseDTDFile(path, "")
+	case ".xml":
+		return qmatch.InferSchemaFile(path)
+	default:
+		return nil, fmt.Errorf("%s: unknown schema extension (want .xsd, .dtd or .xml)", path)
+	}
+}
+
+// compileFile loads and compiles one schema file.
+func compileFile(path string, tokens bool) (*qmatch.CompiledSchema, error) {
+	s, err := loadSchema(path)
+	if err != nil {
+		return nil, err
+	}
+	var opts []qmatch.CompileOption
+	if tokens {
+		opts = append(opts, qmatch.WithLabelTokens())
+	}
+	return qmatch.Compile(s, opts...)
+}
+
+func openRegistry(dir string) (*registry.Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("this subcommand needs -dir DIR (the registry directory)")
+	}
+	return registry.Open(dir)
+}
+
+func printEntry(out io.Writer, e registry.Entry) {
+	fmt.Fprintf(out, "%-24s %-20s nodes=%-5d terms=%-5d %s\n", e.ID, e.Name, e.Size, e.Terms, e.ContentID)
+}
+
+func cmdCompile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qregistry compile", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	outPath := fs.String("o", "", "output artifact file (required)")
+	tokens := fs.Bool("tokens", false, "include label tokens in the prefilter vocabulary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: qregistry compile -o FILE [-tokens] SCHEMA")
+	}
+	cs, err := compileFile(fs.Arg(0), *tokens)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := cs.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %s (%d nodes, %d terms) -> %s\n",
+		cs.ID()[:12], cs.Name(), cs.Size(), len(cs.Terms()), *outPath)
+	return nil
+}
+
+func cmdInspect(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: qregistry inspect FILE...")
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		cs, err := qmatch.DecodeCompiled(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "%s: id=%s root=%s nodes=%d depth=%d terms=%d\n",
+			path, cs.ID(), cs.Name(), cs.Size(), cs.Schema().MaxDepth(), len(cs.Terms()))
+	}
+	return nil
+}
+
+func cmdPut(dir string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qregistry put", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	tokens := fs.Bool("tokens", false, "include label tokens in the prefilter vocabulary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: qregistry -dir DIR put [-tokens] ID SCHEMA")
+	}
+	reg, err := openRegistry(dir)
+	if err != nil {
+		return err
+	}
+	cs, err := compileFile(fs.Arg(1), *tokens)
+	if err != nil {
+		return err
+	}
+	if err := reg.Put(fs.Arg(0), cs); err != nil {
+		return err
+	}
+	printEntry(out, registry.EntryOf(fs.Arg(0), cs))
+	return nil
+}
+
+func cmdList(dir string, args []string, out io.Writer) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: qregistry -dir DIR list")
+	}
+	reg, err := openRegistry(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range reg.List() {
+		printEntry(out, e)
+	}
+	return nil
+}
+
+func cmdDelete(dir string, args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qregistry -dir DIR delete ID")
+	}
+	reg, err := openRegistry(dir)
+	if err != nil {
+		return err
+	}
+	if err := reg.Delete(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "deleted %s\n", args[0])
+	return nil
+}
+
+func cmdSearch(dir string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qregistry search", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	k := fs.Int("k", 0, "rank only the top-K prefilter candidates (0 = all)")
+	tokens := fs.Bool("tokens", false, "compile the query with label tokens")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: qregistry -dir DIR search [-k N] [-tokens] SCHEMA")
+	}
+	reg, err := openRegistry(dir)
+	if err != nil {
+		return err
+	}
+	query, err := compileFile(fs.Arg(0), *tokens)
+	if err != nil {
+		return err
+	}
+	eng, err := qmatch.NewEngine()
+	if err != nil {
+		return err
+	}
+	results, stats, err := reg.Search(nil, eng, query, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "corpus=%d candidates=%d\n", stats.Corpus, stats.Candidates)
+	for i, r := range results {
+		fmt.Fprintf(out, "%2d. %-24s qom=%.4f overlap=%.3f matches=%d\n",
+			i+1, r.ID, r.Score, r.Overlap, len(r.Correspondences))
+	}
+	return nil
+}

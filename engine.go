@@ -16,6 +16,7 @@ import (
 	"qmatch/internal/match"
 	"qmatch/internal/obs"
 	"qmatch/internal/structural"
+	"qmatch/internal/xmltree"
 )
 
 // Engine is a reusable, goroutine-safe matching handle. It is compiled
@@ -143,6 +144,8 @@ func NewEngine(opts ...Option) (*Engine, error) {
 				obs.PhaseIntern:    e.metrics.Counter(phaseMetric(obs.PhaseIntern)),
 				obs.PhasePairTable: e.metrics.Counter(phaseMetric(obs.PhasePairTable)),
 				obs.PhaseSelect:    e.metrics.Counter(phaseMetric(obs.PhaseSelect)),
+				obs.PhaseCompile:   e.metrics.Counter(phaseMetric(obs.PhaseCompile)),
+				obs.PhasePrefilter: e.metrics.Counter(phaseMetric(obs.PhasePrefilter)),
 			},
 		}
 	}
@@ -158,6 +161,26 @@ func mustEngine(opts []Option) *Engine {
 		panic(err)
 	}
 	return e
+}
+
+// defaultEngine is the lazily-built default-configuration Engine behind
+// the package-level Match/QoM/MatchComplex/ExplainTop/Rank functions. It
+// is constructed on first use and shared for the process lifetime, so
+// repeated option-less calls reuse one warm thesaurus, matcher pool and
+// label-score cache instead of rebuilding them per call.
+var defaultEngine = sync.OnceValue(func() *Engine {
+	return mustEngine(nil)
+})
+
+// engineFor resolves the Engine for a package-level call: the shared
+// default Engine when no options are given (the common case), or a
+// throwaway Engine compiled from the options otherwise — per-call options
+// must not leak configuration into other callers.
+func engineFor(opts []Option) *Engine {
+	if len(opts) == 0 {
+		return defaultEngine()
+	}
+	return mustEngine(opts)
 }
 
 // Algorithm returns the frozen algorithm choice.
@@ -409,6 +432,13 @@ func (e *Engine) ExplainTop(src, tgt *Schema, n int) string {
 // cancellation MatchAll returns ctx.Err() and a nil result. A nil ctx is
 // treated as context.Background().
 func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]*Report, error) {
+	return e.matchAll(ctx, sources, targets, nil)
+}
+
+// matchAll is the worker-pool body shared by MatchAll and
+// MatchAllCompiled; a non-nil interner is installed into every worker's
+// matcher so compiled schemas skip the intern phase.
+func (e *Engine) matchAll(ctx context.Context, sources, targets []*Schema, interner func(*xmltree.Node) *core.Interned) ([][]*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -471,6 +501,9 @@ func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]
 				// span closes as partial instead of leaking open.
 				ds.SetDone(ctx.Done())
 			}
+			if interner != nil {
+				installInterner(alg, interner)
+			}
 			resetter, _ := alg.(interface{ ResetCache() })
 			for jb := range ch {
 				if resetter != nil {
@@ -508,6 +541,26 @@ func (e *Engine) MatchAll(ctx context.Context, sources, targets []*Schema) ([][]
 // heterogeneous web documents, those whose schema best matches a query
 // schema (§1).
 func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
+	out, _ := e.rank(context.Background(), query, corpus, nil)
+	return out
+}
+
+// RankContext is Rank with deadline and cancellation propagation: the
+// context's Done channel is wired into every worker's pair-table fill, and
+// a cancelled ranking returns ctx.Err() with a nil result (a partially
+// ranked corpus has no meaningful order). A nil ctx is
+// context.Background(), under which RankContext is exactly Rank.
+func (e *Engine) RankContext(ctx context.Context, query *Schema, corpus []*Schema) ([]Ranked, error) {
+	return e.rank(ctx, query, corpus, nil)
+}
+
+// rank is the worker-pool body shared by Rank, RankContext and
+// RankCompiled; a non-nil interner is installed into every worker's
+// matcher so compiled schemas skip the intern phase.
+func (e *Engine) rank(ctx context.Context, query *Schema, corpus []*Schema, interner func(*xmltree.Node) *core.Interned) ([]Ranked, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rankStart := time.Now()
 	out := make([]Ranked, len(corpus))
 	workers := e.parallelism
@@ -518,6 +571,16 @@ func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
 		workers = 1
 	}
 	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range corpus {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -525,6 +588,12 @@ func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
 			defer wg.Done()
 			alg, release := e.algorithm(1)
 			defer release()
+			if ds, ok := alg.(interface{ SetDone(<-chan struct{}) }); ok {
+				ds.SetDone(ctx.Done())
+			}
+			if interner != nil {
+				installInterner(alg, interner)
+			}
 			resetter, _ := alg.(interface{ ResetCache() })
 			for i := range jobs {
 				if resetter != nil {
@@ -541,11 +610,16 @@ func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
 			}
 		}()
 	}
-	for i := range corpus {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		if e.logger != nil {
+			e.logger.LogAttrs(context.Background(), slog.LevelWarn, "rank cancelled",
+				slog.String("query", query.Name()),
+				slog.Int("corpus", len(corpus)),
+				slog.Duration("elapsed", time.Since(rankStart)))
+		}
+		return nil, err
+	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -559,7 +633,7 @@ func (e *Engine) Rank(query *Schema, corpus []*Schema) []Ranked {
 			slog.Int("workers", workers),
 			slog.Duration("elapsed", time.Since(rankStart)))
 	}
-	return out
+	return out, nil
 }
 
 // interface guard: the CUPID matcher stays interchangeable too.

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"qmatch"
+	"qmatch/internal/dataset"
+	"qmatch/internal/xsd"
+)
+
+// CompiledRow is one workload of the compiled-artifact experiment: the
+// per-match latency when every request re-parses the schema documents
+// (the stateless /v1/match path) against the latency when both sides were
+// compiled once up front (the registry path), plus the one-time compile
+// cost that buys the difference. Identical records whether the two paths
+// produced equal reports — the equivalence the artifact layer guarantees.
+type CompiledRow struct {
+	Workload    string        `json:"workload"`
+	Nodes       int           `json:"nodes"`
+	ParseBest   time.Duration `json:"-"`
+	MatchBest   time.Duration `json:"-"`
+	CompileOnce time.Duration `json:"-"`
+	Speedup     float64       `json:"speedup"`
+	Identical   bool          `json:"identical"`
+
+	ParseBestMS   float64 `json:"parse_path_best_ms"`
+	MatchBestMS   float64 `json:"compiled_path_best_ms"`
+	CompileOnceMS float64 `json:"compile_once_ms"`
+}
+
+// CompiledLatency measures repeat-match latency per corpus workload: the
+// parse path re-parses the rendered XSD documents on every repetition
+// (what a client pays when it POSTs schema text per request), while the
+// compiled path reuses artifacts compiled once before the clock starts
+// (what a registered schema pays per /v1/search hit). Best of reps each.
+func CompiledLatency(pairs []dataset.Pair, reps int) ([]CompiledRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	eng, err := qmatch.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CompiledRow, 0, len(pairs))
+	for _, p := range pairs {
+		srcDoc, tgtDoc := xsd.Render(p.Source), xsd.Render(p.Target)
+
+		// Both paths start from the same parsed documents so the reports
+		// are comparable; the parse path just pays that cost every time.
+		src, err := qmatch.ParseSchemaString(srcDoc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		tgt, err := qmatch.ParseSchemaString(tgtDoc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+
+		row := CompiledRow{Workload: p.Name, Nodes: len(p.Source.Nodes()) + len(p.Target.Nodes())}
+
+		start := time.Now()
+		csrc, err := eng.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		ctgt, err := eng.Compile(tgt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		row.CompileOnce = time.Since(start)
+
+		var parseReport, compiledReport *qmatch.Report
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			s, err := qmatch.ParseSchemaString(srcDoc)
+			if err != nil {
+				return nil, err
+			}
+			t, err := qmatch.ParseSchemaString(tgtDoc)
+			if err != nil {
+				return nil, err
+			}
+			parseReport = eng.Match(s, t)
+			if d := time.Since(start); row.ParseBest == 0 || d < row.ParseBest {
+				row.ParseBest = d
+			}
+		}
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			compiledReport = eng.MatchCompiled(csrc, ctgt)
+			if d := time.Since(start); row.MatchBest == 0 || d < row.MatchBest {
+				row.MatchBest = d
+			}
+		}
+
+		row.Identical = reflect.DeepEqual(parseReport, compiledReport)
+		row.Speedup = float64(row.ParseBest) / float64(row.MatchBest)
+		row.ParseBestMS = float64(row.ParseBest) / float64(time.Millisecond)
+		row.MatchBestMS = float64(row.MatchBest) / float64(time.Millisecond)
+		row.CompileOnceMS = float64(row.CompileOnce) / float64(time.Millisecond)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatCompiled renders the rows.
+func FormatCompiled(rows []CompiledRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: compiled artifacts (re-parse per match vs compile once)\n")
+	fmt.Fprintf(&b, "%-14s %6s %12s %12s %9s %12s %6s\n",
+		"Workload", "Nodes", "ParsePath", "Compiled", "Speedup", "CompileOnce", "Equal")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %6d %12s %12s %8.2fx %12s %6v\n",
+			r.Workload, r.Nodes, r.ParseBest, r.MatchBest,
+			r.Speedup, r.CompileOnce, r.Identical)
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/dataset"
+)
+
+func TestCompiledLatencyRows(t *testing.T) {
+	pairs := []dataset.Pair{dataset.POPair(), dataset.BookPair()}
+	rows, err := CompiledLatency(pairs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(pairs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(pairs))
+	}
+	for i, r := range rows {
+		if r.Workload != pairs[i].Name {
+			t.Errorf("row %d workload = %q, want %q", i, r.Workload, pairs[i].Name)
+		}
+		if r.ParseBest <= 0 || r.MatchBest <= 0 || r.CompileOnce <= 0 {
+			t.Errorf("%s: missing timings: %+v", r.Workload, r)
+		}
+		// The acceptance criterion of the compiled path: it must produce
+		// the same report the parse path does, every time.
+		if !r.Identical {
+			t.Errorf("%s: compiled path report differs from parse path", r.Workload)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %v not positive", r.Workload, r.Speedup)
+		}
+	}
+	text := FormatCompiled(rows)
+	for _, p := range pairs {
+		if !strings.Contains(text, p.Name) {
+			t.Errorf("formatted table lacks workload %q:\n%s", p.Name, text)
+		}
+	}
+}

@@ -70,6 +70,12 @@ func (h *Hybrid) SetTrace(t *obs.Trace) { h.Matcher.Trace = t }
 // fills (see Matcher.Done); nil never aborts.
 func (h *Hybrid) SetDone(done <-chan struct{}) { h.Matcher.Done = done }
 
+// SetInterner installs the precompiled-vocabulary lookup of the
+// compiled-schema path (see Matcher.Interner); nil interns at match entry.
+// This is the optional fast-path hook the Engine asserts on
+// match.Algorithm values, alongside SetTrace and SetDone.
+func (h *Hybrid) SetInterner(f func(*xmltree.Node) *Interned) { h.Matcher.Interner = f }
+
 // tree returns the pair table for src/tgt, reusing the memoized result
 // when the same pointers are matched again. Callers must not mutate the
 // trees between calls.

@@ -25,16 +25,61 @@ type labelCell struct {
 	kind  lingo.Kind
 }
 
+// Interned is the per-side vocabulary of one schema tree: the dense label
+// and normalized-property-set ids of every node in pre-order, plus the
+// id → entry tables. Interning one side is independent of the other side,
+// so an Interned value can be computed once per schema (at artifact compile
+// time) and reused across every match the schema participates in — the
+// compiled-schema fast path. All fields are read-only after Intern returns.
+type Interned struct {
+	// LabelID and PropID map node pre-order index → dense vocabulary id.
+	LabelID []int32
+	PropID  []int32
+	// Labels and Props map dense id → vocabulary entry. Props entries are
+	// Norm-canonicalized.
+	Labels []string
+	Props  []xmltree.Properties
+}
+
+// Intern builds the vocabulary of a pre-order node list: dense ids in
+// first-appearance order for the distinct labels, and for the distinct
+// Norm-canonicalized property sets (MatchProperties begins by norming both
+// sides, so two sets equal after Norm always score alike).
+func Intern(nodes []*xmltree.Node) *Interned {
+	in := &Interned{
+		LabelID: make([]int32, len(nodes)),
+		PropID:  make([]int32, len(nodes)),
+		Labels:  make([]string, 0, 64),
+		Props:   make([]xmltree.Properties, 0, 32),
+	}
+	labelIndex := make(map[string]int32, 64)
+	propIndex := make(map[xmltree.Properties]int32, 32)
+	for i, n := range nodes {
+		id, ok := labelIndex[n.Label]
+		if !ok {
+			id = int32(len(in.Labels))
+			in.Labels = append(in.Labels, n.Label)
+			labelIndex[n.Label] = id
+		}
+		in.LabelID[i] = id
+
+		p := n.Props.Norm()
+		pid, ok := propIndex[p]
+		if !ok {
+			pid = int32(len(in.Props))
+			in.Props = append(in.Props, p)
+			propIndex[p] = pid
+		}
+		in.PropID[i] = pid
+	}
+	return in
+}
+
 // simKernel holds the interned vocabularies and score matrices of one
 // pair-table computation. All fields are written during the fill phase and
 // read-only afterwards, so pair-table workers share a kernel freely.
 type simKernel struct {
-	// Node pre-order index → dense vocabulary id.
-	srcLabelID, tgtLabelID []int32
-	srcPropID, tgtPropID   []int32
-	// Dense id → vocabulary entry.
-	srcLabels, tgtLabels []string
-	srcProps, tgtProps   []xmltree.Properties
+	src, tgt *Interned
 	// Score matrices, indexed [srcID*|Tgt|+tgtID].
 	labels []labelCell
 	props  []PropertyQoM
@@ -43,73 +88,42 @@ type simKernel struct {
 // newKernel interns the label and property vocabularies of both node lists
 // and allocates the (unfilled) score matrices.
 func newKernel(srcNodes, tgtNodes []*xmltree.Node) *simKernel {
-	k := &simKernel{}
-	k.srcLabelID, k.srcLabels = internLabels(srcNodes)
-	k.tgtLabelID, k.tgtLabels = internLabels(tgtNodes)
-	k.srcPropID, k.srcProps = internProps(srcNodes)
-	k.tgtPropID, k.tgtProps = internProps(tgtNodes)
-	k.labels = make([]labelCell, len(k.srcLabels)*len(k.tgtLabels))
-	k.props = make([]PropertyQoM, len(k.srcProps)*len(k.tgtProps))
-	return k
+	return newKernelFrom(Intern(srcNodes), Intern(tgtNodes))
 }
 
-// internLabels assigns dense ids to the distinct labels of a node list, in
-// first-appearance (pre-order) order.
-func internLabels(nodes []*xmltree.Node) ([]int32, []string) {
-	ids := make([]int32, len(nodes))
-	uniq := make([]string, 0, 64)
-	index := make(map[string]int32, 64)
-	for i, n := range nodes {
-		id, ok := index[n.Label]
-		if !ok {
-			id = int32(len(uniq))
-			uniq = append(uniq, n.Label)
-			index[n.Label] = id
-		}
-		ids[i] = id
+// newKernelFrom builds a kernel over pre-interned per-side vocabularies —
+// the entry point of the compiled-schema path, which skips the interning
+// walk entirely. The score matrices still must be filled per pair (they
+// depend on both vocabularies), but the shared label cache makes repeat
+// pairs cheap.
+func newKernelFrom(src, tgt *Interned) *simKernel {
+	return &simKernel{
+		src:    src,
+		tgt:    tgt,
+		labels: make([]labelCell, len(src.Labels)*len(tgt.Labels)),
+		props:  make([]PropertyQoM, len(src.Props)*len(tgt.Props)),
 	}
-	return ids, uniq
-}
-
-// internProps assigns dense ids to the distinct property sets of a node
-// list. Sets are canonicalized with Norm first — MatchProperties begins by
-// norming both sides, so two sets equal after Norm always score alike.
-func internProps(nodes []*xmltree.Node) ([]int32, []xmltree.Properties) {
-	ids := make([]int32, len(nodes))
-	uniq := make([]xmltree.Properties, 0, 32)
-	index := make(map[xmltree.Properties]int32, 32)
-	for i, n := range nodes {
-		p := n.Props.Norm()
-		id, ok := index[p]
-		if !ok {
-			id = int32(len(uniq))
-			uniq = append(uniq, p)
-			index[p] = id
-		}
-		ids[i] = id
-	}
-	return ids, uniq
 }
 
 // labelAt returns the label-axis outcome for the pair of nodes at source
 // pre-order index i and target pre-order index j.
 func (k *simKernel) labelAt(i, j int) labelCell {
-	return k.labels[int(k.srcLabelID[i])*len(k.tgtLabels)+int(k.tgtLabelID[j])]
+	return k.labels[int(k.src.LabelID[i])*len(k.tgt.Labels)+int(k.tgt.LabelID[j])]
 }
 
 // propAt is labelAt for the property axis.
 func (k *simKernel) propAt(i, j int) PropertyQoM {
-	return k.props[int(k.srcPropID[i])*len(k.tgtProps)+int(k.tgtPropID[j])]
+	return k.props[int(k.src.PropID[i])*len(k.tgt.Props)+int(k.tgt.PropID[j])]
 }
 
 // fillLabelRows scores rows [lo, hi) of the label matrix, consulting (and
 // feeding) the shared cross-match cache when one is attached.
 func (k *simKernel) fillLabelRows(names *lingo.NameMatcher, cache *lingo.ScoreCache, lo, hi int) {
-	nt := len(k.tgtLabels)
+	nt := len(k.tgt.Labels)
 	for i := lo; i < hi; i++ {
-		sl := k.srcLabels[i]
+		sl := k.src.Labels[i]
 		row := k.labels[i*nt : (i+1)*nt]
-		for j, tl := range k.tgtLabels {
+		for j, tl := range k.tgt.Labels {
 			if cache != nil {
 				if ls, ok := cache.Get(sl, tl); ok {
 					row[j] = labelCell{score: ls.Score, kind: ls.Kind}
@@ -127,11 +141,11 @@ func (k *simKernel) fillLabelRows(names *lingo.NameMatcher, cache *lingo.ScoreCa
 
 // fillPropRows scores rows [lo, hi) of the property matrix.
 func (k *simKernel) fillPropRows(lo, hi int) {
-	nt := len(k.tgtProps)
+	nt := len(k.tgt.Props)
 	for i := lo; i < hi; i++ {
-		sp := k.srcProps[i]
+		sp := k.src.Props[i]
 		row := k.props[i*nt : (i+1)*nt]
-		for j, tp := range k.tgtProps {
+		for j, tp := range k.tgt.Props {
 			row[j] = MatchProperties(sp, tp)
 		}
 	}
@@ -139,8 +153,8 @@ func (k *simKernel) fillPropRows(lo, hi int) {
 
 // fill computes both matrices on the calling goroutine.
 func (k *simKernel) fill(names *lingo.NameMatcher, cache *lingo.ScoreCache) {
-	k.fillLabelRows(names, cache, 0, len(k.srcLabels))
-	k.fillPropRows(0, len(k.srcProps))
+	k.fillLabelRows(names, cache, 0, len(k.src.Labels))
+	k.fillPropRows(0, len(k.src.Props))
 }
 
 // fillParallel fans the matrix rows across the pair-table worker pool
@@ -149,13 +163,13 @@ func (k *simKernel) fill(names *lingo.NameMatcher, cache *lingo.ScoreCache) {
 // result is bit-identical to a sequential fill because every cell is a
 // pure function of its two vocabulary entries.
 func (k *simKernel) fillParallel(workers []*treeWorker, cache *lingo.ScoreCache) {
-	labelRows := make(chan int, len(k.srcLabels))
-	for i := range k.srcLabels {
+	labelRows := make(chan int, len(k.src.Labels))
+	for i := range k.src.Labels {
 		labelRows <- i
 	}
 	close(labelRows)
-	propRows := make(chan int, len(k.srcProps))
-	for i := range k.srcProps {
+	propRows := make(chan int, len(k.src.Props))
+	for i := range k.src.Props {
 		propRows <- i
 	}
 	close(propRows)

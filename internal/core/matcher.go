@@ -54,6 +54,13 @@ type Matcher struct {
 	// partial with the cell count filled so far. Nil — the default —
 	// never aborts. Engine.MatchAll wires this to ctx.Done().
 	Done <-chan struct{}
+	// Interner resolves a precompiled per-side vocabulary for a tree root.
+	// Nil (the default), a nil return, or an Interned whose node count
+	// disagrees with the tree fall back to interning at match entry.
+	// The Engine's compiled-schema path installs a lookup over the
+	// CompiledSchema artifacts of the current call, skipping the intern
+	// walk for schemas compiled once up front.
+	Interner func(root *xmltree.Node) *Interned
 
 	// noKernel disables the interned similarity kernel and scores every
 	// cell directly — the reference path the kernel equivalence tests
@@ -153,10 +160,10 @@ func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 	} else {
 		if !m.noKernel {
 			sp := m.Trace.StartSpan(obs.PhaseIntern)
-			r.kern = newKernel(r.srcNodes, r.tgtNodes)
+			r.kern = newKernelFrom(m.interned(src, r.srcNodes), m.interned(tgt, r.tgtNodes))
 			r.kern.fill(m.Names, m.Scores)
 			if sp != nil {
-				sp.SetNodes(len(r.kern.srcLabels), len(r.kern.tgtLabels))
+				sp.SetNodes(len(r.kern.src.Labels), len(r.kern.tgt.Labels))
 				sp.SetCells(int64(len(r.kern.labels) + len(r.kern.props)))
 				sp.SetWorkers(1)
 			}
@@ -186,6 +193,20 @@ func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 	}
 	r.Root = r.table[r.cell(src, tgt)]
 	return r
+}
+
+// interned resolves the vocabulary of one side: the Interner's
+// precompiled value when one is installed and consistent with the tree,
+// otherwise a fresh interning of the node list. The consistency check
+// (node count) guards against an interner serving a stale artifact for a
+// since-mutated tree.
+func (m *Matcher) interned(root *xmltree.Node, nodes []*xmltree.Node) *Interned {
+	if m.Interner != nil {
+		if in := m.Interner(root); in != nil && len(in.LabelID) == len(nodes) {
+			return in
+		}
+	}
+	return Intern(nodes)
 }
 
 // aborted reports whether the Done signal has fired. Checked between
@@ -269,10 +290,10 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 	// the same worker pool; the level sweep below then reads it freely.
 	if !m.noKernel {
 		sp := m.Trace.StartSpan(obs.PhaseIntern)
-		r.kern = newKernel(r.srcNodes, r.tgtNodes)
+		r.kern = newKernelFrom(m.interned(r.Source, r.srcNodes), m.interned(r.Target, r.tgtNodes))
 		r.kern.fillParallel(workers, m.Scores)
 		if sp != nil {
-			sp.SetNodes(len(r.kern.srcLabels), len(r.kern.tgtLabels))
+			sp.SetNodes(len(r.kern.src.Labels), len(r.kern.tgt.Labels))
 			sp.SetCells(int64(len(r.kern.labels) + len(r.kern.props)))
 			sp.SetWorkers(len(workers))
 		}
@@ -328,7 +349,7 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 func (m *Matcher) MatchNodes(s, t *xmltree.Node) QoM {
 	r := newResult(s, t)
 	if !m.noKernel {
-		r.kern = newKernel(r.srcNodes, r.tgtNodes)
+		r.kern = newKernelFrom(m.interned(s, r.srcNodes), m.interned(t, r.tgtNodes))
 		r.kern.fill(m.Names, m.Scores)
 	}
 	tw := &treeWorker{m: m, names: m.Names, r: r, w: m.Weights.Normalized()}

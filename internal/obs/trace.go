@@ -12,7 +12,10 @@ import (
 
 // Phase names one stage of the match pipeline (paper Fig. 3): schema
 // parsing, vocabulary interning into the similarity kernel, the QoM
-// pair-table fill, and correspondence selection.
+// pair-table fill, and correspondence selection. The registry/corpus-search
+// pipeline adds two stages of its own: artifact compilation (parse→intern
+// folded into a reusable CompiledSchema) and the vocabulary-overlap
+// prefilter that selects top-K candidates before any full QoM table runs.
 type Phase string
 
 const (
@@ -20,6 +23,8 @@ const (
 	PhaseIntern    Phase = "intern"
 	PhasePairTable Phase = "pairtable"
 	PhaseSelect    Phase = "select"
+	PhaseCompile   Phase = "compile"
+	PhasePrefilter Phase = "prefilter"
 )
 
 // Span is one finished phase of a match trace. Counts are phase-specific:

@@ -1,0 +1,300 @@
+// Package registry implements the persistent compiled-schema store behind
+// the matching service's /v1/schemas and /v1/search endpoints: a
+// goroutine-safe map of caller-named CompiledSchema artifacts, optionally
+// mirrored to a directory of encoded artifact blobs so a restarted service
+// reloads its corpus, plus the top-K corpus search that combines the
+// vocabulary-overlap prefilter with full QoM ranking of the survivors.
+package registry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qmatch"
+)
+
+// ext is the on-disk artifact file extension.
+const ext = ".qma"
+
+// ErrNotFound is returned by operations naming an id the registry does
+// not hold.
+var ErrNotFound = errors.New("registry: schema not found")
+
+// maxIDLen bounds registry ids; they become file names and URL path
+// segments.
+const maxIDLen = 128
+
+// ValidateID checks a caller-chosen registry id: 1–128 characters of
+// [A-Za-z0-9._-], starting with a letter or digit. Ids become file names
+// (<id>.qma) and URL path segments, so path separators, dot-prefixes and
+// exotic bytes are all rejected rather than escaped.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("registry: empty id")
+	}
+	if len(id) > maxIDLen {
+		return fmt.Errorf("registry: id longer than %d bytes", maxIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		b := id[i]
+		switch {
+		case 'a' <= b && b <= 'z' || 'A' <= b && b <= 'Z' || '0' <= b && b <= '9':
+		case (b == '.' || b == '_' || b == '-') && i > 0:
+		default:
+			return fmt.Errorf("registry: id %q: byte %q at position %d (want [A-Za-z0-9._-], leading alphanumeric)", id, b, i)
+		}
+	}
+	return nil
+}
+
+// Entry is one registered schema's metadata, as reported by List.
+type Entry struct {
+	// ID is the caller-chosen registry key.
+	ID string `json:"id"`
+	// ContentID is the artifact's content address (hex SHA-256 of its
+	// canonical encoding).
+	ContentID string `json:"contentId"`
+	// Name is the schema's root element label.
+	Name string `json:"name"`
+	// Size is the schema's node count.
+	Size int `json:"size"`
+	// Terms is the size of the prefilter vocabulary.
+	Terms int `json:"terms"`
+}
+
+// Registry is a goroutine-safe store of compiled schemas keyed by
+// caller-chosen id. With a backing directory every Put/Delete is mirrored
+// to disk before the in-memory map changes, so the map never claims state
+// the disk does not hold.
+type Registry struct {
+	dir string // "" = memory-only
+
+	mu      sync.RWMutex
+	schemas map[string]*qmatch.CompiledSchema
+}
+
+// Open returns a registry backed by dir, creating the directory if needed
+// and loading every artifact blob (*.qma) already present — a restarted
+// service resumes with its full corpus. An empty dir selects a
+// memory-only registry. A blob that fails to decode aborts Open with an
+// error naming the file: a corrupt store is a condition to surface, not
+// to silently shrink.
+func Open(dir string) (*Registry, error) {
+	r := &Registry{dir: dir, schemas: make(map[string]*qmatch.CompiledSchema)}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: open %s: %w", dir, err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*"+ext))
+	if err != nil {
+		return nil, fmt.Errorf("registry: open %s: %w", dir, err)
+	}
+	for _, path := range names {
+		id := strings.TrimSuffix(filepath.Base(path), ext)
+		if ValidateID(id) != nil {
+			continue // not a blob this registry wrote
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: load %s: %w", path, err)
+		}
+		cs, err := qmatch.DecodeCompiled(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("registry: load %s: %w", path, err)
+		}
+		r.schemas[id] = cs
+	}
+	return r, nil
+}
+
+// Dir returns the backing directory ("" for memory-only).
+func (r *Registry) Dir() string { return r.dir }
+
+// Len returns the number of registered schemas.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.schemas)
+}
+
+// Has reports whether id is registered.
+func (r *Registry) Has(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.schemas[id]
+	return ok
+}
+
+// EntryOf builds the List-style metadata view of one compiled schema.
+func EntryOf(id string, cs *qmatch.CompiledSchema) Entry {
+	return Entry{
+		ID:        id,
+		ContentID: cs.ID(),
+		Name:      cs.Name(),
+		Size:      cs.Size(),
+		Terms:     len(cs.Terms()),
+	}
+}
+
+// Put registers a compiled schema under id, replacing any previous entry.
+// With a backing directory the artifact is written atomically (temp file +
+// rename) before the in-memory map is updated.
+func (r *Registry) Put(id string, cs *qmatch.CompiledSchema) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	if cs == nil {
+		return fmt.Errorf("registry: put %s: nil schema", id)
+	}
+	if r.dir != "" {
+		var buf bytes.Buffer
+		if err := cs.Encode(&buf); err != nil {
+			return fmt.Errorf("registry: put %s: %w", id, err)
+		}
+		tmp, err := os.CreateTemp(r.dir, ".put-*")
+		if err != nil {
+			return fmt.Errorf("registry: put %s: %w", id, err)
+		}
+		_, werr := tmp.Write(buf.Bytes())
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), filepath.Join(r.dir, id+ext))
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("registry: put %s: %w", id, werr)
+		}
+	}
+	r.mu.Lock()
+	r.schemas[id] = cs
+	r.mu.Unlock()
+	return nil
+}
+
+// Get returns the compiled schema registered under id, or ErrNotFound.
+func (r *Registry) Get(id string) (*qmatch.CompiledSchema, error) {
+	r.mu.RLock()
+	cs, ok := r.schemas[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return cs, nil
+}
+
+// Delete removes the schema registered under id (and its blob, when disk
+// backed). Deleting an absent id returns ErrNotFound.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.schemas[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if r.dir != "" {
+		if err := os.Remove(filepath.Join(r.dir, id+ext)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("registry: delete %s: %w", id, err)
+		}
+	}
+	delete(r.schemas, id)
+	return nil
+}
+
+// List returns the metadata of every registered schema, sorted by id.
+func (r *Registry) List() []Entry {
+	r.mu.RLock()
+	out := make([]Entry, 0, len(r.schemas))
+	for id, cs := range r.schemas {
+		out = append(out, EntryOf(id, cs))
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Result is one corpus-search hit: a registered schema ranked against the
+// query by full QoM, with the prefilter overlap that admitted it.
+type Result struct {
+	// ID is the schema's registry key.
+	ID string `json:"id"`
+	// Score is the query→schema tree QoM.
+	Score float64 `json:"score"`
+	// Overlap is the prefilter vocabulary overlap in [0,1].
+	Overlap float64 `json:"overlap"`
+	// Correspondences are the element mappings found for this schema.
+	Correspondences []qmatch.Correspondence `json:"correspondences"`
+}
+
+// SearchStats reports how one corpus search spent its time: the corpus
+// size, how many candidates survived the prefilter, and the wall time of
+// the prefilter and full-rank stages (the service renders these as
+// "prefilter"/"pairtable"-style trace spans).
+type SearchStats struct {
+	Corpus      int   `json:"corpus"`
+	Candidates  int   `json:"candidates"`
+	PrefilterNs int64 `json:"prefilterNs"`
+	RankNs      int64 `json:"rankNs"`
+}
+
+// Search ranks the registered corpus against a query schema: the
+// vocabulary-overlap prefilter selects the k most promising candidates
+// (k <= 0 considers every schema), and only those pay for a full QoM match
+// through the engine. Results arrive sorted by descending QoM; because
+// the prefilter only selects candidates and the order comes from the full
+// match, k >= Len() reproduces the exhaustive ranking exactly. The corpus
+// is snapshotted at entry; concurrent Put/Delete affect later searches
+// only.
+func (r *Registry) Search(ctx context.Context, e *qmatch.Engine, query *qmatch.CompiledSchema, k int) ([]Result, SearchStats, error) {
+	r.mu.RLock()
+	ids := make([]string, 0, len(r.schemas))
+	for id := range r.schemas {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	corpus := make([]*qmatch.CompiledSchema, len(ids))
+	for i, id := range ids {
+		corpus[i] = r.schemas[id]
+	}
+	r.mu.RUnlock()
+
+	stats := SearchStats{Corpus: len(corpus)}
+	start := time.Now()
+	keep := qmatch.PrefilterTopK(query, corpus, k)
+	stats.PrefilterNs = time.Since(start).Nanoseconds()
+	stats.Candidates = len(keep)
+	sort.Ints(keep)
+	sub := make([]*qmatch.CompiledSchema, len(keep))
+	for i, ci := range keep {
+		sub[i] = corpus[ci]
+	}
+
+	start = time.Now()
+	ranked, err := e.RankCompiled(ctx, query, sub, 0)
+	stats.RankNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]Result, len(ranked))
+	for i, rk := range ranked {
+		ci := keep[rk.Index]
+		out[i] = Result{
+			ID:              ids[ci],
+			Score:           rk.Score,
+			Overlap:         query.Overlap(corpus[ci]),
+			Correspondences: rk.Correspondences,
+		}
+	}
+	return out, stats, nil
+}

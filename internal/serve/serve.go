@@ -22,6 +22,7 @@ import (
 
 	"qmatch"
 	"qmatch/internal/obs"
+	"qmatch/internal/registry"
 )
 
 // The service's HTTP metric names, maintained in the server's own
@@ -71,6 +72,13 @@ type Config struct {
 	// Requests whose override key misses a full pool still succeed on
 	// a throwaway Engine; only reuse is lost.
 	MaxEngines int
+	// RegistryDir backs the schema registry with a directory of encoded
+	// artifact blobs, reloaded on startup. Empty selects a memory-only
+	// registry (entries vanish on restart).
+	RegistryDir string
+	// MaxSchemas bounds the registry; PUTs beyond it fail with 507
+	// until entries are deleted (default 4096).
+	MaxSchemas int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxEngines < 1 {
 		c.MaxEngines = 8
 	}
+	if c.MaxSchemas < 1 {
+		c.MaxSchemas = 4096
+	}
 	return c
 }
 
@@ -107,7 +118,8 @@ type Server struct {
 	cfg    Config
 	logger *slog.Logger
 
-	engine *qmatch.Engine // default engine; owns qmatch_* metrics
+	engine   *qmatch.Engine // default engine; owns qmatch_* metrics
+	registry *registry.Registry
 
 	mu      sync.Mutex
 	engines map[engineKey]*qmatch.Engine
@@ -146,6 +158,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: default engine: %w", err)
 	}
 	s.engine = eng
+	s.registry, err = registry.Open(cfg.RegistryDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.RegistryDir != "" && cfg.Logger != nil {
+		cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "registry loaded",
+			slog.String("dir", cfg.RegistryDir), slog.Int("schemas", s.registry.Len()))
+	}
 	s.inflight = s.reg.Gauge(MetricHTTPInflight)
 	s.builds = s.reg.Counter(MetricEngineBuilds)
 	s.pooled = s.reg.Gauge(MetricEnginesPooled)
@@ -171,20 +191,54 @@ func (s *Server) Drain() {
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Handler returns the service's HTTP handler:
+// route is one entry of the service's versioned route table: the HTTP
+// method and pattern it answers (Go 1.22 ServeMux syntax, wildcards
+// allowed), the short name that labels its metrics and access-log lines,
+// and the handler. Every route passes through the same instrument wrapper
+// — body cap, in-flight gauge, duration histogram, status counter, access
+// log — so adding an endpoint (a future /v1/jobs, say) is one line here.
+type route struct {
+	method  string
+	pattern string
+	name    string
+	handler http.HandlerFunc
+}
+
+// routes returns the service's API surface, the single registration point
+// Handler builds the mux from:
 //
-//	POST /v1/match     one schema pair    → Report (library wire format)
-//	POST /v1/matchall  sources×targets    → {"reports": [[Report...]...]}
-//	POST /v1/rank      query vs corpus    → {"ranked": [...]}
-//	GET  /healthz      liveness           → 200 "ok" / 503 "draining"
-//	GET  /metrics      Prometheus text: Engine + HTTP registries
+//	POST   /v1/match         one schema pair     → Report (library wire format)
+//	POST   /v1/matchall      sources×targets     → {"reports": [[Report...]...]}
+//	POST   /v1/rank          query vs corpus     → {"ranked": [...]}
+//	PUT    /v1/schemas/{id}  register schema     → registry entry (201/200)
+//	GET    /v1/schemas/{id}  inspect entry       → registry entry + XSD
+//	DELETE /v1/schemas/{id}  unregister          → 204
+//	GET    /v1/schemas       list registry       → {"schemas": [...]}
+//	POST   /v1/search        query vs registry   → {"results": [...]}
+//	GET    /healthz          liveness            → 200 "ok" / 503 "draining"
+//	GET    /metrics          Prometheus text: Engine + HTTP registries
+func (s *Server) routes() []route {
+	return []route{
+		{http.MethodPost, "/v1/match", "match", s.handleMatch},
+		{http.MethodPost, "/v1/matchall", "matchall", s.handleMatchAll},
+		{http.MethodPost, "/v1/rank", "rank", s.handleRank},
+		{http.MethodPut, "/v1/schemas/{id}", "schema_put", s.handlePutSchema},
+		{http.MethodGet, "/v1/schemas/{id}", "schema_get", s.handleGetSchema},
+		{http.MethodDelete, "/v1/schemas/{id}", "schema_delete", s.handleDeleteSchema},
+		{http.MethodGet, "/v1/schemas", "schema_list", s.handleListSchemas},
+		{http.MethodPost, "/v1/search", "search", s.handleSearch},
+		{http.MethodGet, "/healthz", "healthz", s.handleHealthz},
+		{http.MethodGet, "/metrics", "metrics", s.handleMetrics},
+	}
+}
+
+// Handler builds the service's HTTP handler from the route table; see
+// routes for the endpoint list.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/match", s.instrument("match", s.handleMatch))
-	mux.Handle("POST /v1/matchall", s.instrument("matchall", s.handleMatchAll))
-	mux.Handle("POST /v1/rank", s.instrument("rank", s.handleRank))
-	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	for _, rt := range s.routes() {
+		mux.Handle(rt.method+" "+rt.pattern, s.instrument(rt.name, rt.handler))
+	}
 	return mux
 }
 

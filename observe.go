@@ -10,7 +10,7 @@ import (
 // The Engine's metric names. Every counter/gauge/histogram the match
 // pipeline maintains is listed here; DESIGN.md §"Observability" documents
 // semantics. Phase wall time is keyed by a phase label:
-// qmatch_phase_ns_total{phase="parse|intern|pairtable|select"}.
+// qmatch_phase_ns_total{phase="parse|intern|pairtable|select|compile|prefilter"}.
 const (
 	MetricMatches        = "qmatch_matches_total"
 	MetricCancelled      = "qmatch_matches_cancelled_total"

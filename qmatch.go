@@ -127,13 +127,15 @@ type Report struct {
 
 // Match matches the source schema against the target schema with the
 // hybrid QMatch algorithm (or a configured alternative) and returns the
-// report. It builds a throwaway Engine per call — services matching
-// repeatedly or concurrently should build one Engine with NewEngine and
-// reuse it. Match panics with the error NewEngine would return when the
-// options are invalid (unknown algorithm, negative or all-zero weights,
-// thresholds outside [0,1], negative parallelism).
+// report. Option-less calls share one lazily-built default Engine (warm
+// thesaurus, matcher pool and label cache are reused across calls); calls
+// with options build a throwaway Engine — services with a fixed non-default
+// configuration should build one Engine with NewEngine and reuse it. Match
+// panics with the error NewEngine would return when the options are
+// invalid (unknown algorithm, negative or all-zero weights, thresholds
+// outside [0,1], negative parallelism).
 func Match(src, tgt *Schema, opts ...Option) *Report {
-	return mustEngine(opts).Match(src, tgt)
+	return engineFor(opts).Match(src, tgt)
 }
 
 // QoMBreakdown returns the full per-axis QoM of the two schema roots under
@@ -147,9 +149,10 @@ type QoMBreakdown struct {
 }
 
 // QoM computes the hybrid QoM breakdown for two schemas. Option semantics
-// are identical to Match, including the panic on invalid options.
+// are identical to Match, including the shared default Engine on
+// option-less calls and the panic on invalid options.
 func QoM(src, tgt *Schema, opts ...Option) QoMBreakdown {
-	return mustEngine(opts).QoM(src, tgt)
+	return engineFor(opts).QoM(src, tgt)
 }
 
 // ComplexCorrespondence maps one source element to a combination of
@@ -175,14 +178,14 @@ func (c ComplexCorrespondence) String() string {
 // coverage). Pass the Report of a prior Match call so already-explained
 // elements are excluded; a nil report searches the whole schemas.
 func MatchComplex(src, tgt *Schema, report *Report, opts ...Option) []ComplexCorrespondence {
-	return mustEngine(opts).MatchComplex(src, tgt, report)
+	return engineFor(opts).MatchComplex(src, tgt, report)
 }
 
 // ExplainTop returns human-readable derivations of the n best pairs' QoM
 // under the hybrid model: per-axis scores and kinds, weighted
 // contributions, and the per-child best matches behind the children axis.
 func ExplainTop(src, tgt *Schema, n int, opts ...Option) string {
-	return mustEngine(opts).ExplainTop(src, tgt, n)
+	return engineFor(opts).ExplainTop(src, tgt, n)
 }
 
 // Evaluation mirrors the paper's match-quality measures for a report

@@ -16,9 +16,11 @@ type Ranked struct {
 // concurrently and returns the corpus sorted by descending overall match
 // value — the paper's motivating scenario of locating, among many
 // heterogeneous web documents, those whose schema best matches a query
-// schema (§1). It builds a throwaway Engine per call; callers ranking
-// repeatedly should build one Engine and use Engine.Rank. Option semantics
-// are identical to Match, including the panic on invalid options.
+// schema (§1). Option semantics are identical to Match: option-less calls
+// share one lazily-built default Engine, calls with options build a
+// throwaway Engine (callers ranking repeatedly under a fixed non-default
+// configuration should build one Engine and use Engine.Rank), and invalid
+// options panic.
 func Rank(query *Schema, corpus []*Schema, opts ...Option) []Ranked {
-	return mustEngine(opts).Rank(query, corpus)
+	return engineFor(opts).Rank(query, corpus)
 }
