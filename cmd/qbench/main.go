@@ -18,6 +18,7 @@
 //	qbench -ext parallel      # extension: MatchAll batch scaling vs workers
 //	qbench -ext pairtable     # extension: pair-table fill vs interned pairs
 //	qbench -ext compiled      # extension: re-parse per match vs compiled artifacts
+//	qbench -ext rematch       # extension: incremental re-match vs full refill
 //	qbench -reps N         # repetitions for runtime measurements (default 3)
 //	qbench -fast           # skip the slow experiments (Figure 4's protein
 //	                       # workload and the full Table 2 sweep)
@@ -60,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	reps := fs.Int("reps", 3, "repetitions for runtime measurements")
 	fast := fs.Bool("fast", false, "skip the slowest experiments")
 	jsonOut := fs.String("json", "", "with -ext pairtable: also write the rows as JSON to this file")
+	gate := fs.String("gate", "", "with -ext pairtable: fail if any workload's best_ms regresses >25% vs this baseline JSON")
 	metricsOut := fs.String("metrics", "", "write an instrumented-Engine metrics snapshot as JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -124,6 +126,12 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, bench.FormatCompiled(rows))
+		case "rematch":
+			pairs := dataset.Pairs()
+			if *fast {
+				pairs = pairs[:3] // drop the 3984-element protein workload
+			}
+			fmt.Fprint(out, bench.FormatRematch(bench.Rematch(pairs, *reps)))
 		case "pairtable":
 			pairs := dataset.Pairs()
 			if *fast {
@@ -143,6 +151,21 @@ func run(args []string, out io.Writer) error {
 				if err := f.Close(); err != nil {
 					return err
 				}
+			}
+			if *gate != "" {
+				f, err := os.Open(*gate)
+				if err != nil {
+					return err
+				}
+				baseline, err := bench.ReadPairTableJSON(f)
+				f.Close()
+				if err != nil {
+					return err
+				}
+				if err := bench.GatePairTable(baseline, rows, 0.25); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "perf gate: within 25%% of %s\n", *gate)
 			}
 		default:
 			return fmt.Errorf("unknown extension %q", *ext)

@@ -186,7 +186,9 @@ func (e *Engine) MatchCompiled(src, tgt *CompiledSchema) *Report {
 	alg, release := e.algorithm(e.parallelism)
 	defer release()
 	installInterner(alg, compiledInterner(src, tgt))
-	return e.run(alg, src.schema, tgt.schema)
+	rep := e.run(alg, src.schema, tgt.schema)
+	e.attachRematchState(rep, alg, src, tgt)
+	return rep
 }
 
 // MatchCompiledContext is MatchContext over compiled schemas; see
@@ -202,6 +204,9 @@ func (e *Engine) MatchCompiledContext(ctx context.Context, src, tgt *CompiledSch
 	}
 	installInterner(alg, compiledInterner(src, tgt))
 	report := e.run(alg, src.schema, tgt.schema)
+	if ctx.Err() == nil {
+		e.attachRematchState(report, alg, src, tgt)
+	}
 	return report, ctx.Err()
 }
 

@@ -353,3 +353,24 @@ func TestCompiledSchemaAccessors(t *testing.T) {
 		t.Errorf("self overlap %v, want 1", o)
 	}
 }
+
+// Compiled-path counterpart of core's TestTreeAllocsBounded: a warm
+// MatchCompiled on the DCMD pair must stay within the arena-era ceiling.
+// It runs at ~280 allocations — the compiled schemas carry pre-interned
+// vocabularies, so selection and report assembly are most of what's left.
+// The 600 ceiling trips on any return of per-cell allocation or loss of
+// the pooled arena buffers.
+func TestMatchCompiledAllocsBounded(t *testing.T) {
+	csrc, ctgt := compileDatasetPair(t, dataset.DCMDPair())
+	eng, err := qmatch.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.MatchCompiled(csrc, ctgt) // warm memo caches and the buffer pool
+	allocs := testing.AllocsPerRun(5, func() {
+		eng.MatchCompiled(csrc, ctgt)
+	})
+	if allocs > 600 {
+		t.Errorf("DCMD MatchCompiled = %.0f allocs/run, regression ceiling is 600", allocs)
+	}
+}

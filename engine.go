@@ -146,6 +146,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 				obs.PhaseSelect:    e.metrics.Counter(phaseMetric(obs.PhaseSelect)),
 				obs.PhaseCompile:   e.metrics.Counter(phaseMetric(obs.PhaseCompile)),
 				obs.PhasePrefilter: e.metrics.Counter(phaseMetric(obs.PhasePrefilter)),
+				obs.PhaseRematch:   e.metrics.Counter(phaseMetric(obs.PhaseRematch)),
 			},
 		}
 	}
@@ -230,6 +231,7 @@ func (e *Engine) hybrid(inner int) (*core.Hybrid, func()) {
 	h.Matcher.Names = e.names.Get()
 	h.Matcher.Weights = e.weights
 	h.Matcher.Parallelism = inner
+	h.Matcher.Precision = e.cfg.precision
 	// Every hybrid matcher of this Engine shares one label-score cache —
 	// sound because the Engine froze the thesaurus and tuning.
 	h.Matcher.Scores = e.labels
@@ -239,7 +241,12 @@ func (e *Engine) hybrid(inner int) (*core.Hybrid, func()) {
 	if e.cfg.selectionThreshold != nil {
 		h.SelectionThreshold = *e.cfg.selectionThreshold
 	}
-	return h, func() { e.names.Put(h.Matcher.Names) }
+	// Release drops the memoized pair tables first so their arena buffers
+	// go back to the pool along with the NameMatcher.
+	return h, func() {
+		h.ResetCache()
+		e.names.Put(h.Matcher.Names)
+	}
 }
 
 // reportFrom runs one matcher over one schema pair and assembles the

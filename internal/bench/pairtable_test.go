@@ -42,6 +42,51 @@ func TestPairTableRows(t *testing.T) {
 	}
 }
 
+func TestGatePairTable(t *testing.T) {
+	baseline := []PairTableRow{
+		{Workload: "DCMD", BestMS: 100.0},
+		{Workload: "Protein", BestMS: 1478.378059},
+	}
+	// Within tolerance (faster, equal, or up to +25%) passes.
+	ok := []PairTableRow{
+		{Workload: "DCMD", BestMS: 120.0},
+		{Workload: "Protein", BestMS: 200.0},
+		{Workload: "NewWorkload", BestMS: 9999.0}, // not in baseline: skipped
+	}
+	if err := GatePairTable(baseline, ok, 0.25); err != nil {
+		t.Fatalf("gate failed within tolerance: %v", err)
+	}
+	// A >25% regression on any shared workload fails and names it.
+	bad := []PairTableRow{
+		{Workload: "DCMD", BestMS: 126.0},
+		{Workload: "Protein", BestMS: 100.0},
+	}
+	err := GatePairTable(baseline, bad, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "DCMD") {
+		t.Fatalf("gate missed the DCMD regression: %v", err)
+	}
+	if strings.Contains(err.Error(), "Protein") {
+		t.Fatalf("gate flagged the non-regressed Protein row: %v", err)
+	}
+	// Baselines under the jitter floor are never gated, regressed or not.
+	floor := []PairTableRow{{Workload: "DCMD", BestMS: gateFloorMS - 1}}
+	if err := GatePairTable(floor, bad, 0.25); err != nil {
+		t.Fatalf("sub-floor baseline should be skipped: %v", err)
+	}
+	// Round-trip through the JSON artifact: what CI commits is what gates.
+	var buf bytes.Buffer
+	if err := WritePairTableJSON(&buf, baseline); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPairTableJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := GatePairTable(back, bad, 0.25); err == nil || !strings.Contains(err.Error(), "DCMD") {
+		t.Fatalf("gate through JSON round-trip missed the regression: %v", err)
+	}
+}
+
 func TestPairTableJSON(t *testing.T) {
 	rows := PairTableFor([]dataset.Pair{dataset.POPair()}, 1)
 	var buf bytes.Buffer

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qmatch/internal/core"
+	"qmatch/internal/dataset"
+)
+
+// RematchRow is one workload of the incremental re-match benchmark: the
+// target schema evolves by one leaf rename, and the row compares a full
+// pair-table refill against RematchTarget seeded with the previous table,
+// on the same warm matcher (equal caches, so the delta is purely the
+// copied-vs-rescored work). Speedup is FullMS/IncrementalMS.
+type RematchRow struct {
+	Workload      string  `json:"workload"`
+	Cells         int     `json:"cells"`
+	CopiedCells   int64   `json:"copied_cells"`
+	RescoredCells int64   `json:"rescored_cells"`
+	FullMS        float64 `json:"full_ms"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	Speedup       float64 `json:"speedup"`
+
+	BestFull, BestIncremental time.Duration `json:"-"`
+}
+
+// Rematch measures the incremental re-match against a full refill on each
+// workload; each timing is the best of reps runs.
+func Rematch(pairs []dataset.Pair, reps int) []RematchRow {
+	if reps < 1 {
+		reps = 1
+	}
+	rows := make([]RematchRow, 0, len(pairs))
+	for _, p := range pairs {
+		m := core.NewMatcher(nil)
+		prev := m.Tree(p.Source, p.Target)
+		evolved := p.Target.Clone()
+		leaves := evolved.Leaves()
+		leaves[len(leaves)/2].Label = "EvolvedBenchmarkLeaf"
+
+		row := RematchRow{
+			Workload: p.Name,
+			Cells:    p.Source.Size() * evolved.Size(),
+		}
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			r := m.Tree(p.Source, evolved)
+			if d := time.Since(start); row.BestFull == 0 || d < row.BestFull {
+				row.BestFull = d
+			}
+			r.Release()
+
+			start = time.Now()
+			r, stats := m.RematchTarget(prev, evolved)
+			if d := time.Since(start); row.BestIncremental == 0 || d < row.BestIncremental {
+				row.BestIncremental = d
+			}
+			r.Release()
+			row.CopiedCells, row.RescoredCells = stats.CopiedCells, stats.RescoredCells
+		}
+		prev.Release()
+		row.FullMS = float64(row.BestFull) / float64(time.Millisecond)
+		row.IncrementalMS = float64(row.BestIncremental) / float64(time.Millisecond)
+		if row.IncrementalMS > 0 {
+			row.Speedup = row.FullMS / row.IncrementalMS
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatRematch renders the rows.
+func FormatRematch(rows []RematchRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: incremental re-match after one-leaf evolution (full refill vs RematchTarget)\n")
+	fmt.Fprintf(&b, "%-14s %9s %9s %9s %12s %12s %8s\n",
+		"Workload", "Cells", "Copied", "Rescored", "Full", "Incremental", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %9d %9d %9d %12s %12s %7.1fx\n",
+			r.Workload, r.Cells, r.CopiedCells, r.RescoredCells,
+			r.BestFull, r.BestIncremental, r.Speedup)
+	}
+	return b.String()
+}

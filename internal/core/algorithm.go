@@ -57,9 +57,16 @@ func (h *Hybrid) Name() string { return "hybrid" }
 // resultKey identifies one memoized pair table by tree identity.
 type resultKey struct{ src, tgt *xmltree.Node }
 
-// ResetCache drops the memoized pair tables. Timing harnesses call this
-// between repetitions so each measurement covers a full computation.
-func (h *Hybrid) ResetCache() { h.results = nil }
+// ResetCache drops the memoized pair tables, releasing their pooled
+// buffers for the next match. Timing harnesses call this between
+// repetitions so each measurement covers a full computation; the Engine
+// calls it between jobs and at handle release.
+func (h *Hybrid) ResetCache() {
+	for _, r := range h.results {
+		r.Release()
+	}
+	h.results = nil
+}
 
 // SetTrace directs the phase spans of subsequent matches into t; nil
 // disables tracing. This is the optional instrumentation hook the Engine

@@ -18,11 +18,60 @@ import (
 // once into dense matrices, and turns the per-cell axis work of
 // treeWorker.pair into two array lookups. The linguistic cost of a match
 // drops from O(n·m) to O(|Lₛ|·|Lₜ|) (see DESIGN.md §5.9).
+//
+// The matrices are stored structure-of-arrays (scores and kinds apart) in
+// a tile-blocked layout — see the blocked type — and the score plane is
+// float64 by default or float32 under PrecisionFloat32 (half the memory,
+// scores within float32 rounding of the default; DESIGN.md §5.10).
 
-// labelCell is one precomputed label-axis outcome.
-type labelCell struct {
-	score float64
-	kind  lingo.Kind
+// Precision selects the storage width of the kernel's score matrices.
+// The default PrecisionFloat64 stores scores exactly as computed, keeping
+// pair tables bit-identical to the unkerneled reference path.
+// PrecisionFloat32 halves the matrices' memory; scores read back within
+// float32 rounding (≤6e-8 for values in [0,1]), which the tolerance tests
+// pin and which preserves pair rank order in practice.
+type Precision uint8
+
+const (
+	// PrecisionFloat64 stores kernel scores at full width (default).
+	PrecisionFloat64 Precision = iota
+	// PrecisionFloat32 stores kernel scores at half width.
+	PrecisionFloat32
+)
+
+// Tile geometry of the blocked matrices: 8 rows × 256 columns = 2048
+// entries (16 KiB of float64 scores) per tile. Columns dominate because
+// both the fill and the pair-table sweep walk target-major — a 256-entry
+// run is long enough to stream, while 8-row tiles keep a parent row and
+// its children's rows (nearby in pre-order, hence usually in vocabulary
+// id) inside one resident tile during the children-axis loop.
+const (
+	tileRShift = 3
+	tileCShift = 8
+	tileRMask  = 1<<tileRShift - 1
+	tileCMask  = 1<<tileCShift - 1
+)
+
+// blocked maps (row, col) positions of an R×C matrix onto a flat slice
+// laid out as row-major tiles of row-major entries. Entries of one tile
+// are contiguous, so sweeps that stay within a tile row touch long linear
+// runs, and the padding to whole tiles is the only waste.
+type blocked struct {
+	tilesPerRow int
+}
+
+// newBlocked sizes a blocked layout for a rows×cols matrix, returning the
+// layout and the padded entry count to allocate.
+func newBlocked(rows, cols int) (blocked, int) {
+	tpr := (cols + tileCMask) >> tileCShift
+	tpc := (rows + tileRMask) >> tileRShift
+	return blocked{tilesPerRow: tpr}, tpc * tpr << (tileRShift + tileCShift)
+}
+
+// idx returns the flat position of matrix entry (i, j).
+func (b blocked) idx(i, j int32) int {
+	return (int(i>>tileRShift)*b.tilesPerRow+int(j>>tileCShift))<<(tileRShift+tileCShift) |
+		int(i&tileRMask)<<tileCShift | int(j&tileCMask)
 }
 
 // Interned is the per-side vocabulary of one schema tree: the dense label
@@ -78,60 +127,121 @@ func Intern(nodes []*xmltree.Node) *Interned {
 // simKernel holds the interned vocabularies and score matrices of one
 // pair-table computation. All fields are written during the fill phase and
 // read-only afterwards, so pair-table workers share a kernel freely.
+// Scores and kinds live in separate planes (structure-of-arrays): the
+// children-axis sweep reads only scores, and kinds pack to one byte.
 type simKernel struct {
 	src, tgt *Interned
-	// Score matrices, indexed [srcID*|Tgt|+tgtID].
-	labels []labelCell
-	props  []PropertyQoM
+	prec     Precision
+
+	lb           blocked // label-matrix layout (|Lₛ|×|Lₜ|)
+	labelScore64 []float64
+	labelScore32 []float32
+	labelKind    []uint8
+
+	pb          blocked // property-matrix layout (|Pₛ|×|Pₜ|)
+	propScore64 []float64
+	propScore32 []float32
+	propKind    []uint8
 }
 
 // newKernel interns the label and property vocabularies of both node lists
 // and allocates the (unfilled) score matrices.
-func newKernel(srcNodes, tgtNodes []*xmltree.Node) *simKernel {
-	return newKernelFrom(Intern(srcNodes), Intern(tgtNodes))
+func newKernel(srcNodes, tgtNodes []*xmltree.Node, prec Precision) *simKernel {
+	return newKernelFrom(Intern(srcNodes), Intern(tgtNodes), prec, nil)
 }
 
 // newKernelFrom builds a kernel over pre-interned per-side vocabularies —
 // the entry point of the compiled-schema path, which skips the interning
 // walk entirely. The score matrices still must be filled per pair (they
 // depend on both vocabularies), but the shared label cache makes repeat
-// pairs cheap.
-func newKernelFrom(src, tgt *Interned) *simKernel {
-	return &simKernel{
-		src:    src,
-		tgt:    tgt,
-		labels: make([]labelCell, len(src.Labels)*len(tgt.Labels)),
-		props:  make([]PropertyQoM, len(src.Props)*len(tgt.Props)),
+// pairs cheap. When b is non-nil the score planes reuse its pooled slabs;
+// stale contents are harmless because the fill writes every logical entry
+// and the accessors never touch tile padding.
+func newKernelFrom(src, tgt *Interned, prec Precision, b *matchBuffers) *simKernel {
+	k := &simKernel{src: src, tgt: tgt, prec: prec}
+	var ln, pn int
+	k.lb, ln = newBlocked(len(src.Labels), len(tgt.Labels))
+	k.pb, pn = newBlocked(len(src.Props), len(tgt.Props))
+	if b == nil {
+		b = &matchBuffers{} // unpooled scratch
 	}
+	b.lKind = grow(b.lKind, ln)
+	b.pKind = grow(b.pKind, pn)
+	k.labelKind, k.propKind = b.lKind, b.pKind
+	if prec == PrecisionFloat32 {
+		b.lS32 = grow(b.lS32, ln)
+		b.pS32 = grow(b.pS32, pn)
+		k.labelScore32, k.propScore32 = b.lS32, b.pS32
+	} else {
+		b.lS64 = grow(b.lS64, ln)
+		b.pS64 = grow(b.pS64, pn)
+		k.labelScore64, k.propScore64 = b.lS64, b.pS64
+	}
+	return k
+}
+
+// logicalCells is the number of scored matrix entries (excluding tile
+// padding), the count the intern trace span reports.
+func (k *simKernel) logicalCells() int64 {
+	return int64(len(k.src.Labels)*len(k.tgt.Labels) + len(k.src.Props)*len(k.tgt.Props))
 }
 
 // labelAt returns the label-axis outcome for the pair of nodes at source
 // pre-order index i and target pre-order index j.
-func (k *simKernel) labelAt(i, j int) labelCell {
-	return k.labels[int(k.src.LabelID[i])*len(k.tgt.Labels)+int(k.tgt.LabelID[j])]
+func (k *simKernel) labelAt(i, j int) (float64, lingo.Kind) {
+	idx := k.lb.idx(k.src.LabelID[i], k.tgt.LabelID[j])
+	if k.labelScore64 != nil {
+		return k.labelScore64[idx], lingo.Kind(k.labelKind[idx])
+	}
+	return float64(k.labelScore32[idx]), lingo.Kind(k.labelKind[idx])
 }
 
 // propAt is labelAt for the property axis.
-func (k *simKernel) propAt(i, j int) PropertyQoM {
-	return k.props[int(k.src.PropID[i])*len(k.tgt.Props)+int(k.tgt.PropID[j])]
+func (k *simKernel) propAt(i, j int) (float64, lingo.Kind) {
+	idx := k.pb.idx(k.src.PropID[i], k.tgt.PropID[j])
+	if k.propScore64 != nil {
+		return k.propScore64[idx], lingo.Kind(k.propKind[idx])
+	}
+	return float64(k.propScore32[idx]), lingo.Kind(k.propKind[idx])
 }
 
-// fillLabelRows scores rows [lo, hi) of the label matrix, consulting (and
-// feeding) the shared cross-match cache when one is attached.
-func (k *simKernel) fillLabelRows(names *lingo.NameMatcher, cache *lingo.ScoreCache, lo, hi int) {
-	nt := len(k.tgt.Labels)
+// setLabel stores one label-matrix entry at (label id, label id).
+func (k *simKernel) setLabel(i, j int32, s float64, kind lingo.Kind) {
+	idx := k.lb.idx(i, j)
+	if k.labelScore64 != nil {
+		k.labelScore64[idx] = s
+	} else {
+		k.labelScore32[idx] = float32(s)
+	}
+	k.labelKind[idx] = uint8(kind)
+}
+
+// setProp stores one property-matrix entry at (prop id, prop id).
+func (k *simKernel) setProp(i, j int32, p PropertyQoM) {
+	idx := k.pb.idx(i, j)
+	if k.propScore64 != nil {
+		k.propScore64[idx] = p.Score
+	} else {
+		k.propScore32[idx] = float32(p.Score)
+	}
+	k.propKind[idx] = uint8(p.Kind)
+}
+
+// fillLabelRows scores rows [lo, hi) of the label matrix through a batch
+// scorer, consulting (and feeding) the shared cross-match cache when one
+// is attached.
+func (k *simKernel) fillLabelRows(ks *lingo.KernelScorer, cache *lingo.ScoreCache, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		sl := k.src.Labels[i]
-		row := k.labels[i*nt : (i+1)*nt]
 		for j, tl := range k.tgt.Labels {
 			if cache != nil {
 				if ls, ok := cache.Get(sl, tl); ok {
-					row[j] = labelCell{score: ls.Score, kind: ls.Kind}
+					k.setLabel(int32(i), int32(j), ls.Score, ls.Kind)
 					continue
 				}
 			}
-			s, kind := names.Match(sl, tl)
-			row[j] = labelCell{score: s, kind: kind}
+			s, kind := ks.Score(int32(i), int32(j))
+			k.setLabel(int32(i), int32(j), s, kind)
 			if cache != nil {
 				cache.Put(sl, tl, lingo.LabelScore{Score: s, Kind: kind})
 			}
@@ -141,28 +251,29 @@ func (k *simKernel) fillLabelRows(names *lingo.NameMatcher, cache *lingo.ScoreCa
 
 // fillPropRows scores rows [lo, hi) of the property matrix.
 func (k *simKernel) fillPropRows(lo, hi int) {
-	nt := len(k.tgt.Props)
 	for i := lo; i < hi; i++ {
 		sp := k.src.Props[i]
-		row := k.props[i*nt : (i+1)*nt]
 		for j, tp := range k.tgt.Props {
-			row[j] = MatchProperties(sp, tp)
+			k.setProp(int32(i), int32(j), MatchProperties(sp, tp))
 		}
 	}
 }
 
 // fill computes both matrices on the calling goroutine.
 func (k *simKernel) fill(names *lingo.NameMatcher, cache *lingo.ScoreCache) {
-	k.fillLabelRows(names, cache, 0, len(k.src.Labels))
+	ks := names.NewKernelScorer(k.src.Labels, k.tgt.Labels)
+	k.fillLabelRows(ks, cache, 0, len(k.src.Labels))
 	k.fillPropRows(0, len(k.src.Props))
 }
 
-// fillParallel fans the matrix rows across the pair-table worker pool
-// (each worker scores labels through its own NameMatcher clone). Rows are
-// independent, so no ordering is needed beyond the final barrier; the
-// result is bit-identical to a sequential fill because every cell is a
-// pure function of its two vocabulary entries.
-func (k *simKernel) fillParallel(workers []*treeWorker, cache *lingo.ScoreCache) {
+// fillParallel fans the matrix rows across par goroutines. The batch
+// scorer is built once on the calling goroutine (construction mutates the
+// matcher's memos) and then shared read-only — Score is concurrency-safe —
+// so the per-worker matcher clones of the pair-table phase are not needed
+// here. Rows are independent and every cell is a pure function of its two
+// vocabulary entries, so the result is bit-identical to a sequential fill.
+func (k *simKernel) fillParallel(names *lingo.NameMatcher, cache *lingo.ScoreCache, par int) {
+	ks := names.NewKernelScorer(k.src.Labels, k.tgt.Labels)
 	labelRows := make(chan int, len(k.src.Labels))
 	for i := range k.src.Labels {
 		labelRows <- i
@@ -175,13 +286,12 @@ func (k *simKernel) fillParallel(workers []*treeWorker, cache *lingo.ScoreCache)
 	close(propRows)
 
 	var wg sync.WaitGroup
-	for _, tw := range workers {
-		tw := tw
+	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range labelRows {
-				k.fillLabelRows(tw.names, cache, i, i+1)
+				k.fillLabelRows(ks, cache, i, i+1)
 			}
 			for i := range propRows {
 				k.fillPropRows(i, i+1)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -61,6 +63,11 @@ type Matcher struct {
 	// CompiledSchema artifacts of the current call, skipping the intern
 	// walk for schemas compiled once up front.
 	Interner func(root *xmltree.Node) *Interned
+	// Precision selects the storage width of the kernel score matrices:
+	// PrecisionFloat64 (the zero value) is exact and bit-identical to the
+	// unkerneled reference path; PrecisionFloat32 halves kernel memory at
+	// float32 rounding tolerance (see the Precision type).
+	Precision Precision
 
 	// noKernel disables the interned similarity kernel and scores every
 	// cell directly — the reference path the kernel equivalence tests
@@ -103,6 +110,19 @@ type Result struct {
 	table              []QoM
 	done               []bool
 	kern               *simKernel
+
+	// Iterative-fill side structures (built once per match in newResult):
+	// child lists as pre-order indices, nesting levels, leaf flags, and the
+	// root-pair level rule, all precomputed so computeRow touches no node
+	// pointers on the hot path.
+	srcKids, tgtKids     [][]int32
+	srcLevels, tgtLevels []int32
+	srcLeaf, tgtLeaf     []bool
+	rootLevelEq          bool
+
+	// buf is the pooled slab set backing the slices above (see arena.go);
+	// nil after Release.
+	buf *matchBuffers
 }
 
 func newResult(src, tgt *xmltree.Node) *Result {
@@ -112,17 +132,37 @@ func newResult(src, tgt *xmltree.Node) *Result {
 		srcNodes: src.Nodes(),
 		tgtNodes: tgt.Nodes(),
 	}
-	r.srcIdx = make(map[*xmltree.Node]int, len(r.srcNodes))
+	r.buf = acquireBuffers(r)
 	for i, n := range r.srcNodes {
 		r.srcIdx[n] = i
 	}
-	r.tgtIdx = make(map[*xmltree.Node]int, len(r.tgtNodes))
 	for i, n := range r.tgtNodes {
 		r.tgtIdx[n] = i
 	}
-	r.table = make([]QoM, len(r.srcNodes)*len(r.tgtNodes))
-	r.done = make([]bool, len(r.table))
+	buildSide(r.srcNodes, r.srcIdx, r.srcKids, r.srcLevels, r.srcLeaf, &r.buf.kidIdx)
+	buildSide(r.tgtNodes, r.tgtIdx, r.tgtKids, r.tgtLevels, r.tgtLeaf, &r.buf.kidIdx)
+	r.rootLevelEq = levelEqual(src, tgt)
 	return r
+}
+
+// buildSide precomputes the per-node fill inputs of one tree side: child
+// lists as pre-order indices (subslices of the shared backing store, which
+// acquireBuffers sized exactly so the appends never reallocate), nesting
+// levels (the side root's cached level, each child one deeper), and leaf
+// flags. One O(n) walk replaces the per-cell Level/IsLeaf/pointer chasing
+// the recursive fill used to do.
+func buildSide(nodes []*xmltree.Node, idx map[*xmltree.Node]int, kids [][]int32, levels []int32, leaf []bool, backing *[]int32) {
+	levels[0] = int32(nodes[0].Level())
+	for i, nd := range nodes {
+		leaf[i] = len(nd.Children) == 0
+		start := len(*backing)
+		for _, c := range nd.Children {
+			ci := int32(idx[c])
+			*backing = append(*backing, ci)
+			levels[ci] = levels[i] + 1
+		}
+		kids[i] = (*backing)[start:len(*backing):len(*backing)]
+	}
 }
 
 // cell returns the dense index of a pair, or -1 when either node is not
@@ -160,11 +200,11 @@ func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 	} else {
 		if !m.noKernel {
 			sp := m.Trace.StartSpan(obs.PhaseIntern)
-			r.kern = newKernelFrom(m.interned(src, r.srcNodes), m.interned(tgt, r.tgtNodes))
+			r.kern = newKernelFrom(m.interned(src, r.srcNodes), m.interned(tgt, r.tgtNodes), m.Precision, r.buf)
 			r.kern.fill(m.Names, m.Scores)
 			if sp != nil {
 				sp.SetNodes(len(r.kern.src.Labels), len(r.kern.tgt.Labels))
-				sp.SetCells(int64(len(r.kern.labels) + len(r.kern.props)))
+				sp.SetCells(r.kern.logicalCells())
 				sp.SetWorkers(1)
 			}
 			sp.End()
@@ -172,14 +212,16 @@ func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 		sp := m.Trace.StartSpan(obs.PhasePairTable)
 		tw := &treeWorker{m: m, names: m.Names, r: r, w: w}
 		partial := false
-		for _, s := range r.srcNodes {
+		// Descending pre-order: children precede their parents, so every
+		// row a parent's children axis reads is complete before the parent
+		// row starts — the iterative equivalent of the old recursion, with
+		// the same between-rows abort points.
+		for i := len(r.srcNodes) - 1; i >= 0; i-- {
 			if m.aborted() {
 				partial = true
 				break
 			}
-			for _, t := range r.tgtNodes {
-				tw.pair(s, t)
-			}
+			tw.computeRow(i)
 		}
 		if sp != nil {
 			sp.SetNodes(len(r.srcNodes), len(r.tgtNodes))
@@ -191,7 +233,9 @@ func (m *Matcher) Tree(src, tgt *xmltree.Node) *Result {
 		}
 		sp.End()
 	}
-	r.Root = r.table[r.cell(src, tgt)]
+	if idx := r.cell(src, tgt); idx >= 0 && r.done[idx] {
+		r.Root = r.table[idx]
+	}
 	return r
 }
 
@@ -267,8 +311,8 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 	maxH := 0
 	for i := len(r.srcNodes) - 1; i >= 0; i-- {
 		h := 0
-		for _, c := range r.srcNodes[i].Children {
-			if ch := heights[r.srcIdx[c]] + 1; ch > h {
+		for _, c := range r.srcKids[i] {
+			if ch := heights[c] + 1; ch > h {
 				h = ch
 			}
 		}
@@ -277,24 +321,34 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 			maxH = h
 		}
 	}
-	levels := make([][]*xmltree.Node, maxH+1)
-	for i, n := range r.srcNodes {
-		levels[heights[i]] = append(levels[heights[i]], n)
+	levels := make([][]int32, maxH+1)
+	for i := range r.srcNodes {
+		levels[heights[i]] = append(levels[heights[i]], int32(i))
 	}
 
 	workers := make([]*treeWorker, par)
 	for i := range workers {
 		workers[i] = &treeWorker{m: m, names: m.Names.Clone(), r: r, w: w}
 	}
+	// Goroutine labels make the worker fan-out legible in CPU profiles:
+	// `go tool pprof -tags` splits samples by workload (root-label pair)
+	// and phase (kernel vs pairtable). Labels set at spawn time are
+	// inherited by the child goroutines, so one Do per phase covers the
+	// whole pool.
+	workload := r.Source.Label + "->" + r.Target.Label
 	// Fill the interned similarity kernel first, fanning matrix rows over
 	// the same worker pool; the level sweep below then reads it freely.
 	if !m.noKernel {
 		sp := m.Trace.StartSpan(obs.PhaseIntern)
-		r.kern = newKernelFrom(m.interned(r.Source, r.srcNodes), m.interned(r.Target, r.tgtNodes))
-		r.kern.fillParallel(workers, m.Scores)
+		pprof.Do(context.Background(),
+			pprof.Labels("qmatch_workload", workload, "qmatch_phase", "kernel"),
+			func(context.Context) {
+				r.kern = newKernelFrom(m.interned(r.Source, r.srcNodes), m.interned(r.Target, r.tgtNodes), m.Precision, r.buf)
+				r.kern.fillParallel(m.Names, m.Scores, len(workers))
+			})
 		if sp != nil {
 			sp.SetNodes(len(r.kern.src.Labels), len(r.kern.tgt.Labels))
-			sp.SetCells(int64(len(r.kern.labels) + len(r.kern.props)))
+			sp.SetCells(r.kern.logicalCells())
 			sp.SetWorkers(len(workers))
 		}
 		sp.End()
@@ -310,27 +364,29 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 		if n > len(level) {
 			n = len(level)
 		}
-		jobs := make(chan *xmltree.Node, len(level))
-		for _, s := range level {
-			jobs <- s
+		jobs := make(chan int32, len(level))
+		for _, si := range level {
+			jobs <- si
 		}
 		close(jobs)
 		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			tw := workers[i]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for s := range jobs {
-					if tw.m.aborted() {
-						return
-					}
-					for _, t := range r.tgtNodes {
-						tw.pair(s, t)
-					}
+		pprof.Do(context.Background(),
+			pprof.Labels("qmatch_workload", workload, "qmatch_phase", "pairtable"),
+			func(context.Context) {
+				for i := 0; i < n; i++ {
+					tw := workers[i]
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for si := range jobs {
+							if tw.m.aborted() {
+								return
+							}
+							tw.computeRow(int(si))
+						}
+					}()
 				}
-			}()
-		}
+			})
 		wg.Wait()
 	}
 	partial = partial || m.aborted()
@@ -349,11 +405,16 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 func (m *Matcher) MatchNodes(s, t *xmltree.Node) QoM {
 	r := newResult(s, t)
 	if !m.noKernel {
-		r.kern = newKernelFrom(m.interned(s, r.srcNodes), m.interned(t, r.tgtNodes))
+		r.kern = newKernelFrom(m.interned(s, r.srcNodes), m.interned(t, r.tgtNodes), m.Precision, r.buf)
 		r.kern.fill(m.Names, m.Scores)
 	}
 	tw := &treeWorker{m: m, names: m.Names, r: r, w: m.Weights.Normalized()}
-	return tw.pair(s, t)
+	for i := len(r.srcNodes) - 1; i >= 0; i-- {
+		tw.computeRow(i)
+	}
+	q := r.table[0] // cell (0, 0): the (s, t) root pair
+	r.Release()
+	return q
 }
 
 // treeWorker computes pair-table cells with a dedicated NameMatcher, so
@@ -365,9 +426,138 @@ type treeWorker struct {
 	w     AxisWeights
 }
 
-// pair computes (or returns the memoized) QoM of one node pair. A node
-// foreign to the matched trees yields the zero QoM instead of panicking on
-// a bogus table index.
+// computeRow fills source row i of the pair table. It is the iterative
+// form of pair(): because rows are computed in an order where every child
+// row precedes its parent's (descending pre-order sequentially, ascending
+// subtree height in parallel), the children axis reads completed rows by
+// index instead of recursing — no per-cell map lookups, no QoM copies up
+// a call stack, no node-pointer chasing. Cell values are bit-identical to
+// the recursive computation; the equivalence and cancellation tests pin
+// this.
+func (tw *treeWorker) computeRow(i int) { tw.computeCols(i, nil) }
+
+// computeCols fills the given target columns of source row i (nil = every
+// column). The incremental re-match uses the subset form: columns whose
+// target subtree is unchanged are copied from the previous table, and only
+// the dirty columns are recomputed — valid in any row order satisfying the
+// children-before-parents discipline, because copied columns are complete
+// for all rows before the sweep starts.
+func (tw *treeWorker) computeCols(i int, cols []int32) {
+	r := tw.r
+	mcols := len(r.tgtNodes)
+	base := i * mcols
+	kids := r.srcKids[i]
+	sLeaf := r.srcLeaf[i]
+	sLvl := r.srcLevels[i]
+	k := r.kern
+	th := tw.m.Threshold - 1e-9
+	nj := mcols
+	if cols != nil {
+		nj = len(cols)
+	}
+	for cj := 0; cj < nj; cj++ {
+		j := cj
+		if cols != nil {
+			j = int(cols[cj])
+		}
+		// Build the cell in place: the QoM is ~10 words, and a
+		// stack-then-copy construction costs a duffcopy per cell.
+		q := &r.table[base+j]
+		*q = QoM{}
+		if k != nil {
+			q.Label, q.LabelKind = k.labelAt(i, j)
+			q.Properties, q.PropertiesKind = k.propAt(i, j)
+		} else {
+			s, t := r.srcNodes[i], r.tgtNodes[j]
+			q.Label, q.LabelKind = tw.names.Match(s.Label, t.Label)
+			pq := MatchProperties(s.Props, t.Props)
+			q.Properties, q.PropertiesKind = pq.Score, pq.Kind
+		}
+
+		if sLeaf && r.tgtLeaf[j] {
+			// Leaf match (Eq. 2): see pair().
+			q.Leaf = true
+			q.LevelExact = true
+			q.Level = 1
+			q.SubtreeWeight, q.CardinalityRatio = 1, 1
+			q.Children = 1
+			q.Coverage = Total
+			q.ChildrenAllExact = true
+		} else {
+			// The root pair compares tree heights, every other pair
+			// nesting levels (levelEqual); rootLevelEq caches the former.
+			if i == 0 && j == 0 {
+				q.LevelExact = r.rootLevelEq
+			} else {
+				q.LevelExact = sLvl == r.tgtLevels[j]
+			}
+			if q.LevelExact {
+				q.Level = 1
+			}
+			// Children axis (Eq. 3–5): identical candidate set and
+			// threshold/coverage rules as pair(), reading finished rows.
+			// Only the best candidate's index is tracked; its Class is
+			// read once at the end (the zero Class when nothing beat the
+			// zero QoM, exactly as pair()'s `var best QoM` behaves).
+			sum := 0.0
+			count := 0
+			covered := 0
+			allExact := true
+			tKids := r.tgtKids[j]
+			for _, ci := range kids {
+				cbase := int(ci) * mcols
+				bestIdx := -1
+				bestVal := 0.0
+				for _, cj := range tKids {
+					if v := r.table[cbase+int(cj)].Value; v > bestVal {
+						bestVal, bestIdx = v, cbase+int(cj)
+					}
+				}
+				if !r.srcLeaf[ci] {
+					if v := r.table[cbase+j].Value; v > bestVal {
+						bestVal, bestIdx = v, cbase+j
+					}
+				}
+				if bestVal >= th {
+					sum += bestVal
+					count++
+					var cls Class
+					if bestIdx >= 0 {
+						cls = r.table[bestIdx].Class
+					}
+					if cls != NoMatch {
+						covered++
+						if cls != TotalExact {
+							allExact = false
+						}
+					}
+				}
+			}
+			if n := len(kids); n > 0 {
+				q.SubtreeWeight = sum / float64(n)
+				q.CardinalityRatio = float64(count) / float64(n)
+				switch {
+				case covered == n:
+					q.Coverage = Total
+				case covered > 0:
+					q.Coverage = Partial
+				}
+			}
+			q.Children = (q.SubtreeWeight + q.CardinalityRatio) / 2
+			q.ChildrenAllExact = allExact && covered > 0
+		}
+
+		q.Value = tw.w.Label*q.Label + tw.w.Properties*q.Properties +
+			tw.w.Level*q.Level + tw.w.Children*q.Children
+		q.classify()
+		r.done[base+j] = true
+	}
+}
+
+// pair computes (or returns the memoized) QoM of one node pair — the
+// recursive reference form of computeRow, kept as the post-fill accessor:
+// a node foreign to the matched trees yields the zero QoM instead of
+// panicking on a bogus table index.
 func (tw *treeWorker) pair(s, t *xmltree.Node) QoM {
 	r := tw.r
 	i, ok := r.srcIdx[s]
@@ -383,16 +573,16 @@ func (tw *treeWorker) pair(s, t *xmltree.Node) QoM {
 		return r.table[idx]
 	}
 	// Break recursive-schema cycles defensively: mark in-progress pairs
-	// with the zero entry (schema trees are acyclic, so this only
-	// guards against malformed input).
+	// with the zero entry (schema trees are acyclic, so this only guards
+	// against malformed input). The table slab is pooled and arrives
+	// dirty, so the zero entry is written explicitly.
 	r.done[idx] = true
+	r.table[idx] = QoM{}
 
 	var q QoM
 	if k := r.kern; k != nil {
-		lc := k.labelAt(i, j)
-		q.Label, q.LabelKind = lc.score, lc.kind
-		pc := k.propAt(i, j)
-		q.Properties, q.PropertiesKind = pc.Score, pc.Kind
+		q.Label, q.LabelKind = k.labelAt(i, j)
+		q.Properties, q.PropertiesKind = k.propAt(i, j)
 	} else {
 		q.Label, q.LabelKind = tw.names.Match(s.Label, t.Label)
 		pq := MatchProperties(s.Props, t.Props)

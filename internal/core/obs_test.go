@@ -136,9 +136,9 @@ func TestTraceDisabledAddsNoAllocs(t *testing.T) {
 		m.Tree(p.Source, p.Target)
 	})
 	// Same matcher, still no trace: the nil-check path must not have
-	// drifted from the pre-instrumentation ceiling (see
-	// TestTreeAllocsBounded).
-	if base > 1500 {
-		t.Fatalf("untraced Tree = %.0f allocs/run, regression ceiling is 1500", base)
+	// drifted from the arena-era ceiling (see TestTreeAllocsBounded; this
+	// loop never Releases, so it sits slightly above the pooled number).
+	if base > 700 {
+		t.Fatalf("untraced Tree = %.0f allocs/run, regression ceiling is 700", base)
 	}
 }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qmatch/internal/dataset"
+)
+
+// precisionPairs are the corpus workloads the float32 tolerance tests run
+// over; Protein joins outside -short.
+func precisionPairs(t *testing.T) []dataset.Pair {
+	t.Helper()
+	pairs := []dataset.Pair{
+		dataset.POPair(), dataset.BookPair(), dataset.DCMDPair(),
+		dataset.XBenchPair(), dataset.LibraryHumanPair(),
+	}
+	if !testing.Short() {
+		pairs = append(pairs, dataset.ProteinPair())
+	}
+	return pairs
+}
+
+// The float32 kernel stores label and property scores at half width; the
+// only divergence from the default table is float32 rounding of values in
+// [0, 1] (≤2⁻²⁴ per read). The children axis averages rounded values up
+// the tree, so per-cell drift stays orders of magnitude below the pinned
+// 1e-6 ceiling on every corpus workload.
+func TestPrecisionFloat32Tolerance(t *testing.T) {
+	const tol = 1e-6
+	for _, p := range precisionPairs(t) {
+		m64 := NewMatcher(nil)
+		r64 := m64.Tree(p.Source, p.Target)
+
+		m32 := NewMatcher(nil)
+		m32.Precision = PrecisionFloat32
+		r32 := m32.Tree(p.Source, p.Target)
+
+		if len(r64.table) != len(r32.table) {
+			t.Fatalf("%s: table sizes differ", p.Name)
+		}
+		worst := 0.0
+		for i := range r64.table {
+			a, b := r64.table[i], r32.table[i]
+			for _, d := range []float64{
+				a.Value - b.Value, a.Label - b.Label,
+				a.Properties - b.Properties, a.Children - b.Children,
+			} {
+				if d := math.Abs(d); d > worst {
+					worst = d
+				}
+			}
+			// The discrete outcomes must not move at all: kinds, level
+			// agreement and coverage classification survive rounding.
+			if a.LabelKind != b.LabelKind || a.PropertiesKind != b.PropertiesKind ||
+				a.LevelExact != b.LevelExact || a.Coverage != b.Coverage {
+				t.Fatalf("%s: cell %d discrete outcome changed under float32", p.Name, i)
+			}
+		}
+		if worst > tol {
+			t.Errorf("%s: float32 kernel drifts %.3g from float64 table, tolerance %g",
+				p.Name, worst, tol)
+		}
+	}
+}
+
+// Float32 rounding must not reorder the ranking: the top pairs come back
+// as the same (source, target) sequence, values within tolerance.
+func TestPrecisionFloat32RankOrder(t *testing.T) {
+	const tol = 1e-6
+	for _, p := range precisionPairs(t) {
+		m64 := NewMatcher(nil)
+		top64 := m64.Tree(p.Source, p.Target).TopPairs(100)
+
+		m32 := NewMatcher(nil)
+		m32.Precision = PrecisionFloat32
+		top32 := m32.Tree(p.Source, p.Target).TopPairs(100)
+
+		if len(top64) != len(top32) {
+			t.Fatalf("%s: top-pair counts differ: %d vs %d", p.Name, len(top64), len(top32))
+		}
+		for i := range top64 {
+			if top64[i].Source != top32[i].Source || top64[i].Target != top32[i].Target {
+				t.Fatalf("%s: rank %d differs: %s→%s (float64) vs %s→%s (float32)",
+					p.Name, i,
+					top64[i].Source.Label, top64[i].Target.Label,
+					top32[i].Source.Label, top32[i].Target.Label)
+			}
+			if d := math.Abs(top64[i].QoM.Value - top32[i].QoM.Value); d > tol {
+				t.Errorf("%s: rank %d value drifts %.3g", p.Name, i, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"qmatch/internal/obs"
+	"qmatch/internal/xmltree"
+)
+
+// Incremental delta re-match. When one side of a previously matched pair
+// evolves (the registry's PUT-on-existing-id flow), most of its tree is
+// usually untouched — and a pair-table cell depends only on the two
+// subtrees below it plus their nesting depths, never on ancestors or
+// siblings. So every node of the new tree whose position and whole subtree
+// are provably unchanged contributes a column (target side) or row (source
+// side) that can be copied verbatim from the previous table; only the
+// columns/rows of changed nodes are rescored, plus nothing else — ancestor
+// cells of changed nodes live in the changed nodes' own rows/columns
+// (ancestors of a changed target node are themselves non-identical
+// subtrees, hence dirty), so the dirty set is closed under the children
+// axis by construction.
+//
+// "Provably unchanged" is positional: new node k-th child of its parent
+// aligns with the old k-th child, and is self-clean when label, normalized
+// properties and child count agree; a subtree is clean when every node in
+// it is self-clean. Positional alignment keeps nesting depths equal by
+// construction, which the level axis needs. Insertions in the middle of a
+// sibling list shift later siblings out of alignment — they rescore
+// unnecessarily, which costs time but never correctness. The root pair's
+// special level rule (tree-height comparison) only matters for cell (0,0),
+// which is copied only when the entire tree is clean — heights equal by
+// identity.
+//
+// The equivalence suite pins rematched tables equal to full re-matches
+// over add/rename/retype/delete evolutions, and the PhaseRematch trace
+// span reports how many cells were rescored vs copied.
+
+// RematchStats reports how much of a re-match was saved: cells copied from
+// the previous table vs rescored, and the node (column/row) counts behind
+// them. CleanNodes+DirtyNodes is the changed side's node count.
+type RematchStats struct {
+	// CopiedCells and RescoredCells partition the new pair table.
+	CopiedCells   int64
+	RescoredCells int64
+	// CleanNodes and DirtyNodes partition the changed side's nodes.
+	CleanNodes int
+	DirtyNodes int
+	// Full marks a fallback to a full fill (previous result released or
+	// partial): everything rescored.
+	Full bool
+}
+
+// alignSide positionally aligns the changed side of the new match against
+// the old one and reports, per new-side node, whether its entire subtree
+// is unchanged (clean). oldIdx maps new pre-order index → aligned old
+// pre-order index (-1 when the position has no old counterpart).
+func alignSide(oldNodes []*xmltree.Node, oldKids [][]int32, newNodes []*xmltree.Node, newKids [][]int32) (oldIdx []int32, clean []bool) {
+	oldIdx = make([]int32, len(newNodes))
+	clean = make([]bool, len(newNodes))
+	for i := range oldIdx {
+		oldIdx[i] = -1
+	}
+	// Iterative pre-order pairing: positions align parent-by-parent, so a
+	// stack of (old, new) index pairs visits every aligned position once.
+	type pair struct{ o, n int32 }
+	stack := []pair{{0, 0}}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		oldIdx[p.n] = p.o
+		on, nn := oldNodes[p.o], newNodes[p.n]
+		clean[p.n] = on.Label == nn.Label &&
+			on.Props.Norm() == nn.Props.Norm() &&
+			len(oldKids[p.o]) == len(newKids[p.n])
+		k := min2(len(oldKids[p.o]), len(newKids[p.n]))
+		for x := 0; x < k; x++ {
+			stack = append(stack, pair{oldKids[p.o][x], newKids[p.n][x]})
+		}
+	}
+	// Fold children into parents: pre-order puts children at higher
+	// indices, so a descending sweep sees every child before its parent.
+	for i := len(newNodes) - 1; i >= 0; i-- {
+		if !clean[i] {
+			continue
+		}
+		for _, c := range newKids[i] {
+			if !clean[c] {
+				clean[i] = false
+				break
+			}
+		}
+	}
+	return oldIdx, clean
+}
+
+// complete reports whether every cell of the table was computed (a partial
+// previous result cannot seed a re-match).
+func (r *Result) complete() bool {
+	if r.buf == nil {
+		return false
+	}
+	for _, d := range r.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// RematchTarget computes the pair table of (prev.Source, newTgt) — the
+// previous match with its target replaced by an evolved version — copying
+// the columns of clean target subtrees from prev and rescoring only dirty
+// columns. The resulting table is equal to m.Tree(prev.Source, newTgt);
+// prev is read, never mutated, and stays valid. A released or partial prev
+// degrades to a full fill (Stats.Full).
+func (m *Matcher) RematchTarget(prev *Result, newTgt *xmltree.Node) (*Result, RematchStats) {
+	if !prev.complete() {
+		r := m.Tree(prev.Source, newTgt)
+		return r, RematchStats{RescoredCells: int64(len(r.srcNodes) * len(r.tgtNodes)),
+			DirtyNodes: len(r.tgtNodes), Full: true}
+	}
+	r := newResult(prev.Source, newTgt)
+	w := m.Weights.Normalized()
+	sp := m.Trace.StartSpan(obs.PhaseRematch)
+	oldIdx, clean := alignSide(prev.tgtNodes, prev.tgtKids, r.tgtNodes, r.tgtKids)
+
+	n := len(r.srcNodes)
+	mNew, mOld := len(r.tgtNodes), len(prev.tgtNodes)
+	// Coalesce clean columns into runs of contiguous (new, old) index pairs,
+	// then copy row-major: one memmove per run per row instead of a strided
+	// cell-by-cell walk down each column, which on large tables costs more
+	// than the fill it replaces. doneRow is the per-row done template —
+	// true over clean columns, false over dirty ones (computeCols sets
+	// those as it fills them).
+	type copyRun struct{ newStart, oldStart, len int }
+	var runs []copyRun
+	dirty := make([]int32, 0, mNew)
+	doneRow := make([]bool, mNew)
+	for j := 0; j < mNew; {
+		if !clean[j] {
+			dirty = append(dirty, int32(j))
+			j++
+			continue
+		}
+		start, ostart := j, int(oldIdx[j])
+		for j++; j < mNew && clean[j] && int(oldIdx[j]) == ostart+(j-start); j++ {
+		}
+		runs = append(runs, copyRun{start, ostart, j - start})
+		for x := start; x < j; x++ {
+			doneRow[x] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		nb, ob := i*mNew, i*mOld
+		for _, run := range runs {
+			copy(r.table[nb+run.newStart:nb+run.newStart+run.len],
+				prev.table[ob+run.oldStart:ob+run.oldStart+run.len])
+		}
+		copy(r.done[nb:nb+mNew], doneRow)
+	}
+	// The dense kernel scores every vocabulary pair up front, which only
+	// amortizes when the rescored cells outnumber the label pairs. A
+	// typical delta dirties a handful of columns — score those cells
+	// directly through the name matcher instead of refilling the kernel.
+	if !m.noKernel {
+		si := m.interned(r.Source, r.srcNodes)
+		ti := m.interned(newTgt, r.tgtNodes)
+		if int64(n)*int64(len(dirty)) >= int64(len(si.Labels))*int64(len(ti.Labels)) {
+			r.kern = newKernelFrom(si, ti, m.Precision, r.buf)
+			r.kern.fill(m.Names, m.Scores)
+		}
+	}
+	tw := &treeWorker{m: m, names: m.Names, r: r, w: w}
+	for i := n - 1; i >= 0; i-- {
+		tw.computeCols(i, dirty)
+	}
+	r.Root = r.table[0]
+
+	stats := RematchStats{
+		CopiedCells:   int64(n) * int64(mNew-len(dirty)),
+		RescoredCells: int64(n) * int64(len(dirty)),
+		CleanNodes:    mNew - len(dirty),
+		DirtyNodes:    len(dirty),
+	}
+	if sp != nil {
+		sp.SetNodes(n, mNew)
+		sp.SetCells(stats.RescoredCells)
+	}
+	sp.End()
+	return r, stats
+}
+
+// RematchSource is RematchTarget with the source side evolving: clean
+// source subtrees contribute whole rows copied from prev, dirty rows are
+// recomputed children-before-parents.
+func (m *Matcher) RematchSource(prev *Result, newSrc *xmltree.Node) (*Result, RematchStats) {
+	if !prev.complete() {
+		r := m.Tree(newSrc, prev.Target)
+		return r, RematchStats{RescoredCells: int64(len(r.srcNodes) * len(r.tgtNodes)),
+			DirtyNodes: len(r.srcNodes), Full: true}
+	}
+	r := newResult(newSrc, prev.Target)
+	w := m.Weights.Normalized()
+	sp := m.Trace.StartSpan(obs.PhaseRematch)
+	oldIdx, clean := alignSide(prev.srcNodes, prev.srcKids, r.srcNodes, r.srcKids)
+
+	n, mcols := len(r.srcNodes), len(r.tgtNodes)
+	dirtyRows := 0
+	for i := 0; i < n; i++ {
+		if !clean[i] {
+			dirtyRows++
+		}
+	}
+	// Same kernel-amortization rule as RematchTarget: refill the dense
+	// kernel only when the rescored cells outnumber the vocabulary pairs.
+	if !m.noKernel {
+		si := m.interned(newSrc, r.srcNodes)
+		ti := m.interned(r.Target, r.tgtNodes)
+		if int64(dirtyRows)*int64(mcols) >= int64(len(si.Labels))*int64(len(ti.Labels)) {
+			r.kern = newKernelFrom(si, ti, m.Precision, r.buf)
+			r.kern.fill(m.Names, m.Scores)
+		}
+	}
+	trueRow := make([]bool, mcols)
+	for j := range trueRow {
+		trueRow[j] = true
+	}
+	tw := &treeWorker{m: m, names: m.Names, r: r, w: w}
+	for i := n - 1; i >= 0; i-- {
+		if clean[i] {
+			oi := int(oldIdx[i])
+			copy(r.table[i*mcols:(i+1)*mcols], prev.table[oi*mcols:(oi+1)*mcols])
+			copy(r.done[i*mcols:(i+1)*mcols], trueRow)
+		} else {
+			tw.computeRow(i)
+		}
+	}
+	r.Root = r.table[0]
+
+	stats := RematchStats{
+		CopiedCells:   int64(n-dirtyRows) * int64(mcols),
+		RescoredCells: int64(dirtyRows) * int64(mcols),
+		CleanNodes:    n - dirtyRows,
+		DirtyNodes:    dirtyRows,
+	}
+	if sp != nil {
+		sp.SetNodes(n, mcols)
+		sp.SetCells(stats.RescoredCells)
+	}
+	sp.End()
+	return r, stats
+}
+
+// Adopt seeds the Hybrid's result memo with an externally computed table
+// (a rematched Result), so the following Match/TreeScore on the same pair
+// run selection straight off it.
+func (h *Hybrid) Adopt(r *Result) {
+	if h.results == nil {
+		h.results = make(map[resultKey]*Result)
+	}
+	h.results[resultKey{r.Source, r.Target}] = r
+}
+
+// Take removes and returns the memoized result of a pair without releasing
+// its buffers — the Engine detaches results it must keep alive as rematch
+// state before ResetCache releases the rest. Nil when the pair was never
+// matched on this instance.
+func (h *Hybrid) Take(src, tgt *xmltree.Node) *Result {
+	key := resultKey{src, tgt}
+	r := h.results[key]
+	if r != nil {
+		delete(h.results, key)
+	}
+	return r
+}

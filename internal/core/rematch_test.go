@@ -1,0 +1,179 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"qmatch/internal/dataset"
+	"qmatch/internal/obs"
+	"qmatch/internal/xmltree"
+)
+
+// evolutions is the synthetic schema-evolution suite: each entry mutates a
+// clone of the tree in place, covering the registry's edit vocabulary.
+var evolutions = []struct {
+	name   string
+	mutate func(t *testing.T, root *xmltree.Node)
+}{
+	{"add", func(t *testing.T, root *xmltree.Node) {
+		inner := firstInner(root)
+		inner.Add(xmltree.New("ArchiveFlag", xmltree.Elem("boolean")))
+	}},
+	{"rename", func(t *testing.T, root *xmltree.Node) {
+		leafAt(root, 3).Label = "CompletelyRenamedElement"
+	}},
+	{"retype", func(t *testing.T, root *xmltree.Node) {
+		n := leafAt(root, 1)
+		n.Props.Type = "decimal"
+	}},
+	{"delete", func(t *testing.T, root *xmltree.Node) {
+		inner := firstInner(root)
+		inner.Children = inner.Children[:len(inner.Children)-1]
+	}},
+	{"rename+retype", func(t *testing.T, root *xmltree.Node) {
+		n := leafAt(root, 5)
+		n.Label = "RenamedAndRetyped"
+		n.Props.Type = "hexBinary"
+	}},
+}
+
+// firstInner returns the first non-root node with children.
+func firstInner(root *xmltree.Node) *xmltree.Node {
+	for _, n := range root.Nodes()[1:] {
+		if !n.IsLeaf() {
+			return n
+		}
+	}
+	return root
+}
+
+// leafAt returns the i-th leaf in pre-order.
+func leafAt(root *xmltree.Node, i int) *xmltree.Node {
+	leaves := root.Leaves()
+	return leaves[i%len(leaves)]
+}
+
+// RematchTarget must produce a table equal to a full re-match for every
+// evolution, while rescoring strictly fewer cells than the grid (the
+// PhaseRematch span carries the rescored count).
+func TestRematchTargetEquivalence(t *testing.T) {
+	for _, pair := range []dataset.Pair{dataset.DCMDPair(), dataset.POPair()} {
+		for _, evo := range evolutions {
+			t.Run(pair.Name+"/"+evo.name, func(t *testing.T) {
+				newTgt := pair.Target.Clone()
+				evo.mutate(t, newTgt)
+				if xmltree.Equal(pair.Target, newTgt) {
+					t.Fatal("mutation did not change the tree")
+				}
+
+				want := NewMatcher(nil).Tree(pair.Source, newTgt)
+
+				m := NewMatcher(nil)
+				prev := m.Tree(pair.Source, pair.Target)
+				tr := obs.NewTrace()
+				m.Trace = tr
+				got, stats := m.RematchTarget(prev, newTgt)
+
+				if !reflect.DeepEqual(got.table, want.table) {
+					t.Fatal("rematched table differs from full re-match")
+				}
+				if got.Root != want.Root {
+					t.Fatalf("rematched root %+v, full root %+v", got.Root, want.Root)
+				}
+				total := int64(len(want.table))
+				if stats.Full || stats.RescoredCells >= total || stats.CopiedCells == 0 {
+					t.Fatalf("no incremental savings: %+v over %d cells", stats, total)
+				}
+				if stats.CopiedCells+stats.RescoredCells != total {
+					t.Fatalf("stats do not partition the table: %+v vs %d", stats, total)
+				}
+				span := rematchSpan(t, tr)
+				if span.Cells != stats.RescoredCells {
+					t.Fatalf("span cells %d, stats rescored %d", span.Cells, stats.RescoredCells)
+				}
+				if span.Cells >= total {
+					t.Fatalf("span rescored %d of %d cells — not incremental", span.Cells, total)
+				}
+			})
+		}
+	}
+}
+
+// rematchSpan extracts the PhaseRematch span from a finished trace.
+func rematchSpan(t *testing.T, tr *obs.Trace) obs.Span {
+	t.Helper()
+	mt := tr.Finish()
+	for _, s := range mt.Spans {
+		if s.Phase == obs.PhaseRematch {
+			return s
+		}
+	}
+	t.Fatal("trace has no rematch span")
+	return obs.Span{}
+}
+
+// The source side evolves symmetrically: rows instead of columns.
+func TestRematchSourceEquivalence(t *testing.T) {
+	pair := dataset.DCMDPair()
+	for _, evo := range evolutions {
+		t.Run(evo.name, func(t *testing.T) {
+			newSrc := pair.Source.Clone()
+			evo.mutate(t, newSrc)
+
+			want := NewMatcher(nil).Tree(newSrc, pair.Target)
+
+			m := NewMatcher(nil)
+			prev := m.Tree(pair.Source, pair.Target)
+			got, stats := m.RematchSource(prev, newSrc)
+
+			if !reflect.DeepEqual(got.table, want.table) {
+				t.Fatal("rematched table differs from full re-match")
+			}
+			if stats.Full || stats.RescoredCells >= int64(len(want.table)) || stats.CopiedCells == 0 {
+				t.Fatalf("no incremental savings: %+v", stats)
+			}
+		})
+	}
+}
+
+// A released (or otherwise unusable) previous result degrades to a full
+// fill that still matches the from-scratch table.
+func TestRematchReleasedPrevFallsBack(t *testing.T) {
+	pair := dataset.POPair()
+	newTgt := pair.Target.Clone()
+	newTgt.Nodes()[2].Label = "Altered"
+
+	m := NewMatcher(nil)
+	prev := m.Tree(pair.Source, pair.Target)
+	prev.Release()
+	got, stats := m.RematchTarget(prev, newTgt)
+	if !stats.Full || stats.CopiedCells != 0 {
+		t.Fatalf("released prev should force a full re-match, got %+v", stats)
+	}
+	want := NewMatcher(nil).Tree(pair.Source, newTgt)
+	if !reflect.DeepEqual(got.table, want.table) {
+		t.Fatal("fallback table differs from full re-match")
+	}
+}
+
+// Chained evolution: rematch output seeds the next rematch, staying equal
+// to a full match at every step.
+func TestRematchChain(t *testing.T) {
+	pair := dataset.DCMDPair()
+	m := NewMatcher(nil)
+	prev := m.Tree(pair.Source, pair.Target)
+	tgt := pair.Target
+	for step, evo := range evolutions {
+		next := tgt.Clone()
+		evo.mutate(t, next)
+		got, stats := m.RematchTarget(prev, next)
+		want := NewMatcher(nil).Tree(pair.Source, next)
+		if !reflect.DeepEqual(got.table, want.table) {
+			t.Fatalf("step %d (%s): chained rematch diverges", step, evo.name)
+		}
+		if stats.Full {
+			t.Fatalf("step %d (%s): chain degraded to full re-match", step, evo.name)
+		}
+		prev, tgt = got, next
+	}
+}

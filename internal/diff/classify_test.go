@@ -1,0 +1,161 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"qmatch/internal/xmltree"
+)
+
+// classifyPair runs classify on the roots' i-th children with an identity
+// parent mapping — a harness for the precedence and detail rules without
+// the matcher in the loop.
+func classifyPair(o, n *xmltree.Node) Entry {
+	oldToNew := map[string]string{}
+	o.Walk(func(x *xmltree.Node) bool {
+		oldToNew[x.Path()] = x.Path()
+		return true
+	})
+	return classify(o.Children[0], n.Children[0], oldToNew)
+}
+
+// An element renamed and retyped in the same evolution step must classify
+// as Renamed (the more structural change wins) while the detail still
+// lists every change, so nothing is silently dropped.
+func TestClassifyRenamePlusPropertyChange(t *testing.T) {
+	o := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("Quantity", xmltree.Elem("integer")))
+	n := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.New("Qty", xmltree.Elem("decimal").Optional()))
+	// Identity mapping keyed by old paths: point the old child at itself so
+	// the parent check sees "same parent".
+	e := classify(o.Children[0], n.Children[0], map[string]string{
+		"R": "R", "R/Quantity": "R/Qty",
+	})
+	if e.Kind != Renamed {
+		t.Fatalf("kind = %v, want renamed: %+v", e.Kind, e)
+	}
+	for _, want := range []string{"label", "type integer -> decimal", "occurs [1..1] -> [0..1]"} {
+		if !strings.Contains(e.Detail, want) {
+			t.Errorf("detail %q lacks %q", e.Detail, want)
+		}
+	}
+}
+
+// A move combined with a rename must classify as Moved — the topmost rung
+// of the precedence ladder — with both changes in the detail.
+func TestClassifyMovePlusRename(t *testing.T) {
+	oldTree := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.NewTree("A", xmltree.Elem(""),
+			xmltree.New("X", xmltree.Elem("string"))),
+		xmltree.NewTree("B", xmltree.Elem("")))
+	newTree := xmltree.NewTree("R", xmltree.Elem(""),
+		xmltree.NewTree("A", xmltree.Elem("")),
+		xmltree.NewTree("B", xmltree.Elem(""),
+			xmltree.New("Y", xmltree.Elem("string"))))
+	oldToNew := map[string]string{"R": "R", "R/A": "R/A", "R/B": "R/B", "R/A/X": "R/B/Y"}
+	e := classify(oldTree.Find("R/A/X"), newTree.Find("R/B/Y"), oldToNew)
+	if e.Kind != Moved {
+		t.Fatalf("kind = %v, want moved: %+v", e.Kind, e)
+	}
+	if !strings.Contains(e.Detail, "parent R/A -> R/B") || !strings.Contains(e.Detail, "label") {
+		t.Fatalf("detail = %q, want parent change and label", e.Detail)
+	}
+}
+
+// Every occurs-bounds transition renders with the [min..max] notation,
+// unbounded as *; equal bounds report nothing.
+func TestClassifyOccursBounds(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new xmltree.Properties
+		want     string // empty = no occurs change reported
+	}{
+		{"min only", xmltree.Elem("string"), xmltree.Elem("string").Optional(), "occurs [1..1] -> [0..1]"},
+		{"max to unbounded", xmltree.Elem("string"), xmltree.Elem("string").Repeated(), "occurs [1..1] -> [1..*]"},
+		{"unbounded back to one", xmltree.Elem("string").Repeated(), xmltree.Elem("string"), "occurs [1..*] -> [1..1]"},
+		{"both bounds", xmltree.Elem("string"), xmltree.Elem("string").Optional().Repeated(), "occurs [1..1] -> [0..*]"},
+		{"equal bounds", xmltree.Elem("string").Optional(), xmltree.Elem("string").Optional(), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("V", tc.old))
+			n := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("V", tc.new))
+			e := classifyPair(o, n)
+			switch {
+			case tc.want == "" && e.Kind != Unchanged:
+				t.Fatalf("kind = %v, want unchanged: %+v", e.Kind, e)
+			case tc.want != "" && e.Kind != Modified:
+				t.Fatalf("kind = %v, want modified: %+v", e.Kind, e)
+			case tc.want != "" && !strings.Contains(e.Detail, tc.want):
+				t.Fatalf("detail = %q, want %q", e.Detail, tc.want)
+			}
+		})
+	}
+}
+
+// Moving a whole subtree: the subtree's root reports Moved, while its
+// descendants — whose parents map consistently — stay Unchanged. Only the
+// point of re-attachment is an evolution event, not everything under it.
+func TestMovedSubtreeChildrenStayUnchanged(t *testing.T) {
+	address := func() *xmltree.Node {
+		return xmltree.NewTree("Address", xmltree.Elem(""),
+			xmltree.New("Street", xmltree.Elem("string")),
+			xmltree.New("City", xmltree.Elem("string")),
+			xmltree.New("Zip", xmltree.Elem("string")))
+	}
+	oldTree := xmltree.NewTree("Order", xmltree.Elem(""),
+		xmltree.NewTree("Customer", xmltree.Elem(""),
+			xmltree.New("Name", xmltree.Elem("string")),
+			address()),
+		xmltree.NewTree("Shipping", xmltree.Elem(""),
+			xmltree.New("Carrier", xmltree.Elem("string"))))
+	newTree := xmltree.NewTree("Order", xmltree.Elem(""),
+		xmltree.NewTree("Customer", xmltree.Elem(""),
+			xmltree.New("Name", xmltree.Elem("string"))),
+		xmltree.NewTree("Shipping", xmltree.Elem(""),
+			xmltree.New("Carrier", xmltree.Elem("string")),
+			address()))
+	r := Schemas(oldTree, newTree, nil)
+	moved := r.ByKind(Moved)
+	if len(moved) != 1 || moved[0].OldPath != "Order/Customer/Address" {
+		t.Fatalf("moved = %v\n%s", moved, r.Format(true))
+	}
+	if moved[0].NewPath != "Order/Shipping/Address" ||
+		!strings.Contains(moved[0].Detail, "parent Order/Customer -> Order/Shipping") {
+		t.Fatalf("moved entry = %+v", moved[0])
+	}
+	// Street/City/Zip follow their parent without being evolution events.
+	for _, leaf := range []string{"Street", "City", "Zip"} {
+		found := false
+		for _, e := range r.ByKind(Unchanged) {
+			if strings.HasSuffix(e.OldPath, "/"+leaf) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("subtree leaf %s not reported unchanged\n%s", leaf, r.Format(true))
+		}
+	}
+	if c := r.Counts(); c[Added] != 0 || c[Removed] != 0 {
+		t.Fatalf("spurious add/remove on a pure move: %v\n%s", r.Counts(), r.Format(true))
+	}
+}
+
+// Element/attribute kind flips and value-constraint edits are Modified
+// with each change named.
+func TestClassifyKindAndValueConstraints(t *testing.T) {
+	o := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("V", xmltree.Elem("string")))
+	n := xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("V", xmltree.Attr("string")))
+	if e := classifyPair(o, n); e.Kind != Modified || !strings.Contains(e.Detail, "element/attribute kind") {
+		t.Fatalf("attr flip: %+v", e)
+	}
+	withDefault := xmltree.Elem("string")
+	withDefault.Default = "n/a"
+	o = xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("V", xmltree.Elem("string")))
+	n = xmltree.NewTree("R", xmltree.Elem(""), xmltree.New("V", withDefault))
+	if e := classifyPair(o, n); e.Kind != Modified || !strings.Contains(e.Detail, "default value") {
+		t.Fatalf("default edit: %+v", e)
+	}
+}

@@ -173,6 +173,32 @@ func JaroWinkler(a, b string) float64 {
 	return j + float64(prefix)*0.1*(1-j)
 }
 
+// jaroWinklerRunes is JaroWinkler over runes decoded once per label: same
+// match/transposition arithmetic, same ≤4-rune prefix boost, so the result
+// is bit-identical to JaroWinkler(a, b) on the source strings. (The stack
+// cutoff tests rune counts where JaroWinkler tests byte counts; both paths
+// feed jaroRunes the same slices, so the float is unaffected.)
+func jaroWinklerRunes(ra, rb []rune) float64 {
+	var j float64
+	if len(ra) <= jaroStackLimit && len(rb) <= jaroStackLimit {
+		var bufA, bufB [jaroStackLimit]bool
+		j = jaroRunes(ra, rb, bufA[:len(ra)], bufB[:len(rb)])
+	} else {
+		lb := longBufPool.Get().(*longBufs)
+		ma := boolsInto(lb.ma, len(ra))
+		mb := boolsInto(lb.mb, len(rb))
+		lb.ma, lb.mb = ma, mb
+		j = jaroRunes(ra, rb, ma, mb)
+		longBufPool.Put(lb)
+	}
+	prefix := 0
+	n := min2(min2(len(ra), len(rb)), 4)
+	for prefix < n && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
 // NGramSim returns the Dice coefficient over the character n-grams of a and
 // b (with n-1 boundary padding), a robust similarity for short labels. For
 // strings shorter than n, it falls back to EditSim. N-grams are compared
@@ -207,11 +233,18 @@ func NGramSim(a, b string, n int) float64 {
 // ngramDice merge-counts common n-grams with multiplicity (multiset Dice)
 // over the two hash multisets; empty multisets fall back to EditSim.
 func ngramDice(ga, gb []uint64, a, b string) float64 {
+	sortHashes(ga)
+	sortHashes(gb)
+	return diceSortedHashes(ga, gb, a, b)
+}
+
+// diceSortedHashes is ngramDice over multisets that are already sorted —
+// the per-pair cost when gram hashing and sorting were done once per label
+// (see LabelFeatures) is just this linear merge.
+func diceSortedHashes(ga, gb []uint64, a, b string) float64 {
 	if len(ga) == 0 || len(gb) == 0 {
 		return EditSim(a, b)
 	}
-	sortHashes(ga)
-	sortHashes(gb)
 	common := 0
 	i, j := 0, 0
 	for i < len(ga) && j < len(gb) {
@@ -229,6 +262,42 @@ func ngramDice(ga, gb []uint64, a, b string) float64 {
 	return 2 * float64(common) / float64(len(ga)+len(gb))
 }
 
+// diceSortedBounded is diceSortedHashes with an early exit: when even
+// matching every remaining hash could not lift the Dice value to need, it
+// bails and reports exact=false (the true value is then provably < need).
+// A completed merge reports the exact value. The bound common+min(rem)
+// only decreases as the merge advances, so one check per step suffices.
+func diceSortedBounded(ga, gb []uint64, need float64) (dice float64, exact bool) {
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0, false
+	}
+	// need ≤ common+minRem threshold in count space: bail once
+	// common + min(remaining) < need·(|ga|+|gb|)/2.
+	thr := need * float64(len(ga)+len(gb)) / 2
+	common := 0
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		rem := len(ga) - i
+		if r := len(gb) - j; r < rem {
+			rem = r
+		}
+		if float64(common+rem) < thr {
+			return 0, false
+		}
+		switch {
+		case ga[i] == gb[j]:
+			common++
+			i++
+			j++
+		case ga[i] < gb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 2 * float64(common) / float64(len(ga)+len(gb)), true
+}
+
 // TrigramSim is NGramSim with n=3, the variant used by the linguistic
 // matcher for token comparison.
 func TrigramSim(a, b string) float64 { return NGramSim(a, b, 3) }
@@ -236,7 +305,11 @@ func TrigramSim(a, b string) float64 { return NGramSim(a, b, 3) }
 // ngramHashes appends the FNV-1a hash of every padded n-rune window of s
 // to buf, decoding s into rbuf.
 func ngramHashes(buf []uint64, rbuf []rune, s string, n int) []uint64 {
-	r := runesInto(rbuf, s)
+	return ngramHashesRunes(buf, runesInto(rbuf, s), n)
+}
+
+// ngramHashesRunes is ngramHashes over runes the caller already decoded.
+func ngramHashesRunes(buf []uint64, r []rune, n int) []uint64 {
 	if len(r) == 0 {
 		return buf[:0]
 	}

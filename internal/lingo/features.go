@@ -1,0 +1,161 @@
+package lingo
+
+// Per-label feature vectors. The pair-table fill scores every unique label
+// pair of a schema pair, so anything derivable from one label alone —
+// normalization, singularization, rune decoding, trigram hashing and
+// sorting, tokenization, thesaurus membership — is O(|labels|) work that
+// must not be repeated per pair. LabelFeatures captures exactly that
+// per-label state; MatchFeatures is NameMatcher.Match rewritten over two
+// feature vectors, sharing one implementation so the scores stay
+// bit-identical however a caller reaches them.
+
+// LabelFeatures holds everything the linguistic matcher can precompute
+// from a single label. Build instances with NameMatcher.Features, which
+// memoizes per label; the fields are sampled at build time, so thesaurus
+// edits after the first use of a label are not observed (the same
+// staleness contract the token-pair memo has always had).
+type LabelFeatures struct {
+	// Norm is Normalize(label): lowercase, separator-free.
+	Norm string
+	// sing is Singularize(Norm); two labels match exactly iff these agree.
+	sing string
+	// runes is Norm decoded once, the Jaro-Winkler input.
+	runes []rune
+	// grams is the sorted trigram hash multiset of Norm, ready for a
+	// linear Dice merge with no per-pair hashing or sorting.
+	grams []uint64
+	// toks are the noise-stripped tokens of the raw label; ids are their
+	// dense interned ids on the owning matcher.
+	toks []string
+	ids  []int32
+	// known records whether the thesaurus has any relation edge for Norm
+	// (or its singular). When neither side is known, the whole-label
+	// thesaurus lookup is provably RelNone and is skipped.
+	known bool
+}
+
+// tokenFeat is the per-token analogue of LabelFeatures, indexed by the
+// matcher's dense token id. Tokens are already lowercase and
+// separator-free, so the token itself plays the role of Norm.
+type tokenFeat struct {
+	sing  string
+	runes []rune
+	grams []uint64
+	known bool
+}
+
+// Features returns the memoized feature vector of a label. The result is
+// owned by the matcher and must be treated as read-only; like every
+// NameMatcher memo it is not safe for concurrent use.
+func (m *NameMatcher) Features(label string) *LabelFeatures {
+	if f, ok := m.feats[label]; ok {
+		return f
+	}
+	f := m.buildFeatures(label)
+	m.feats[label] = f
+	return f
+}
+
+func (m *NameMatcher) buildFeatures(label string) *LabelFeatures {
+	n := Normalize(label)
+	f := &LabelFeatures{Norm: n}
+	if n == "" {
+		return f
+	}
+	f.sing = Singularize(n)
+	f.runes = []rune(n)
+	f.grams = ngramHashesRunes(make([]uint64, 0, len(f.runes)+2), f.runes, 3)
+	sortHashes(f.grams)
+	f.toks = StripNoise(Tokenize(label))
+	f.ids = make([]int32, len(f.toks))
+	for i, t := range f.toks {
+		f.ids[i] = m.intern(t)
+	}
+	f.known = m.Thesaurus.KnownNormalized(n)
+	return f
+}
+
+// MatchFeatures is Match over prebuilt feature vectors: the same decision
+// chain (normalized equality, thesaurus, acronym/abbreviation, token
+// aggregation, whole-string similarity) producing bit-identical scores,
+// with the per-label work amortized away. Both features must come from
+// this matcher's Features (token ids are matcher-local).
+func (m *NameMatcher) MatchFeatures(fa, fb *LabelFeatures) (float64, Kind) {
+	if fa.Norm == "" || fb.Norm == "" {
+		return 0, None
+	}
+	// Norm equality implies sing equality, so one comparison covers the
+	// "equal or equal-after-singularization" exact rule.
+	if fa.sing == fb.sing {
+		return 1, Exact
+	}
+	// Whole-label thesaurus relation. With sing-equality excluded above,
+	// RelateNormalized can only return non-None when one side has a
+	// relation edge — the known flags prove absence without map lookups.
+	if fa.known || fb.known {
+		switch m.Thesaurus.RelateNormalized(fa.Norm, fb.Norm) {
+		case RelSynonym:
+			return 1, Exact
+		case RelAcronym, RelHypernym, RelHyponym, RelRelated:
+			return m.RelaxedScore, Relaxed
+		}
+	}
+	// Whole-label acronym / abbreviation detection.
+	if m.abbrevMatch(fa.Norm, fb.Norm, fa.toks, fb.toks) {
+		return m.RelaxedScore, Relaxed
+	}
+	// Token-level aggregation.
+	score, allExact, fullCover := m.tokenAggregate(fa.ids, fb.ids)
+	if score >= m.MatchThreshold {
+		if allExact && fullCover && score >= 0.999 {
+			return score, Exact
+		}
+		return score, Relaxed
+	}
+	// Last resort: whole-string similarity of normalized labels, useful
+	// for labels that tokenize poorly ("custaddr").
+	if ws, ok := simAtLeast(fa.runes, fb.runes, fa.grams, fb.grams,
+		fa.Norm, fb.Norm, m.StringSimFloor); ok {
+		return ws, Relaxed
+	}
+	return 0, None
+}
+
+// simAtLeast computes combined Jaro-Winkler + trigram similarity over
+// precomputed runes and sorted gram multisets, reporting (value, true)
+// exactly when the historical combinedStringSim(a, b) would have returned
+// a value ≥ floor — and that identical value. Below the floor it may
+// return (0, false) without finishing the computation: every caller maps
+// below-floor similarities to "no match", so the early exits are
+// unobservable.
+//
+// The pruning order is the reverse of the historical code: the Dice merge
+// over pre-sorted grams is now far cheaper than Jaro, so it runs first
+// and bounds the combined score from above ((1+tg)/2, since jw ≤ 1).
+// The bound is only a valid filter when floor > 0.25, because the
+// jw < 0.5 branch caps its result at 0.25 independently of tg.
+func simAtLeast(ra, rb []rune, ga, gb []uint64, a, b string, floor float64) (float64, bool) {
+	if floor > 0.25 && len(ga) > 0 && len(gb) > 0 {
+		// (1+tg)/2 ≥ floor requires tg ≥ 2·floor−1; the bounded merge
+		// stops as soon as that is provably out of reach.
+		tg, exact := diceSortedBounded(ga, gb, 2*floor-1)
+		if !exact || (1+tg)/2 < floor {
+			return 0, false
+		}
+		jw := jaroWinklerRunes(ra, rb)
+		if jw < 0.5 {
+			return 0, false // historical value jw/2 < 0.25 < floor
+		}
+		s := (jw + tg) / 2
+		return s, s >= floor
+	}
+	// Low floors can be met by the jw/2 branch; mirror the historical
+	// evaluation order exactly.
+	jw := jaroWinklerRunes(ra, rb)
+	if jw < 0.5 {
+		s := jw / 2
+		return s, s >= floor
+	}
+	s := (jw + diceSortedHashes(ga, gb, a, b)) / 2
+	return s, s >= floor
+}

@@ -52,20 +52,11 @@ type NameMatcher struct {
 	// classify as None score 0 on the label axis.
 	MatchThreshold float64
 
-	tokens    map[string]tokenized
-	normed    map[string]string
+	feats     map[string]*LabelFeatures
 	tokIndex  map[string]int32
 	tokNames  []string
+	tokFeats  []tokenFeat
 	tokenSims map[uint64]tokenScore
-}
-
-// tokenized is a memoized tokenization: the noise-stripped tokens of a
-// label and their interned ids. The ids key the token-pair similarity memo
-// — a packed uint64 of two dense int32s beats a [2]string map key on both
-// hash cost and key allocation.
-type tokenized struct {
-	toks []string
-	ids  []int32
 }
 
 type tokenScore struct {
@@ -78,10 +69,10 @@ type tokenScore struct {
 // take a clone — the Thesaurus is shared read-only, the caches are not.
 func (m *NameMatcher) Clone() *NameMatcher {
 	c := *m
-	c.tokens = map[string]tokenized{}
-	c.normed = map[string]string{}
+	c.feats = map[string]*LabelFeatures{}
 	c.tokIndex = map[string]int32{}
 	c.tokNames = nil
+	c.tokFeats = nil
 	c.tokenSims = map[uint64]tokenScore{}
 	return &c
 }
@@ -98,87 +89,41 @@ func NewNameMatcher(t *Thesaurus) *NameMatcher {
 		RelaxedScore:   0.85,
 		StringSimFloor: 0.75,
 		MatchThreshold: 0.65,
-		tokens:         map[string]tokenized{},
-		normed:         map[string]string{},
+		feats:          map[string]*LabelFeatures{},
 		tokIndex:       map[string]int32{},
 		tokenSims:      map[uint64]tokenScore{},
 	}
 }
 
-// tokenize returns the memoized noise-stripped tokenization of a label.
-func (m *NameMatcher) tokenize(label string) tokenized {
-	if ts, ok := m.tokens[label]; ok {
-		return ts
-	}
-	toks := StripNoise(Tokenize(label))
-	ids := make([]int32, len(toks))
-	for i, t := range toks {
-		ids[i] = m.intern(t)
-	}
-	ts := tokenized{toks: toks, ids: ids}
-	m.tokens[label] = ts
-	return ts
-}
-
-// intern assigns (or returns) the dense id of a token.
+// intern assigns (or returns) the dense id of a token, building its
+// feature vector (singular form, runes, sorted trigram hashes, thesaurus
+// membership) on first sight.
 func (m *NameMatcher) intern(tok string) int32 {
 	if id, ok := m.tokIndex[tok]; ok {
 		return id
 	}
 	id := int32(len(m.tokNames))
 	m.tokNames = append(m.tokNames, tok)
+	r := []rune(tok)
+	g := ngramHashesRunes(make([]uint64, 0, len(r)+2), r, 3)
+	sortHashes(g)
+	m.tokFeats = append(m.tokFeats, tokenFeat{
+		sing:  Singularize(tok),
+		runes: r,
+		grams: g,
+		known: m.Thesaurus.KnownNormalized(tok),
+	})
 	m.tokIndex[tok] = id
 	return id
 }
 
-// normalize returns the memoized normalized form of a label.
-func (m *NameMatcher) normalize(label string) string {
-	if n, ok := m.normed[label]; ok {
-		return n
-	}
-	n := Normalize(label)
-	m.normed[label] = n
-	return n
-}
-
 // Match returns the similarity score in [0,1] and its taxonomy kind for two
 // labels. A None classification always scores 0 — the label axis either
-// matches (exactly or relaxedly) or it does not (paper §2.1).
+// matches (exactly or relaxedly) or it does not (paper §2.1). It is
+// MatchFeatures over the memoized per-label feature vectors, so repeated
+// labels pay only two map lookups before the pair-level comparison.
 func (m *NameMatcher) Match(a, b string) (float64, Kind) {
-	na, nb := m.normalize(a), m.normalize(b)
-	if na == "" || nb == "" {
-		return 0, None
-	}
-	if na == nb || Singularize(na) == Singularize(nb) {
-		return 1, Exact
-	}
-	// Whole-label thesaurus relation.
-	switch m.Thesaurus.RelateNormalized(na, nb) {
-	case RelSynonym:
-		return 1, Exact
-	case RelAcronym, RelHypernym, RelHyponym, RelRelated:
-		return m.RelaxedScore, Relaxed
-	}
-	ta, tb := m.tokenize(a), m.tokenize(b)
-	// Whole-label acronym / abbreviation detection (inline AbbrevMatch,
-	// reusing the cached tokenizations).
-	if m.abbrevMatch(na, nb, ta.toks, tb.toks) {
-		return m.RelaxedScore, Relaxed
-	}
-	// Token-level aggregation.
-	score, allExact, fullCover := m.tokenAggregate(ta.ids, tb.ids)
-	if score >= m.MatchThreshold {
-		if allExact && fullCover && score >= 0.999 {
-			return score, Exact
-		}
-		return score, Relaxed
-	}
-	// Last resort: whole-string similarity of normalized labels, useful
-	// for labels that tokenize poorly ("custaddr").
-	if ws := combinedStringSim(na, nb); ws >= m.StringSimFloor {
-		return ws, Relaxed
-	}
-	return 0, None
+	return m.MatchFeatures(m.Features(a), m.Features(b))
 }
 
 // abbrevMatch is AbbrevMatch over pre-computed normalized forms and token
@@ -260,41 +205,35 @@ func (m *NameMatcher) tokenSim(a, b int32) tokenScore {
 	if s, ok := m.tokenSims[key]; ok {
 		return s
 	}
-	s := m.tokenSimUncached(m.tokNames[a], m.tokNames[b])
+	s := m.tokenSimUncached(a, b)
 	m.tokenSims[key] = s
 	return s
 }
 
-func (m *NameMatcher) tokenSimUncached(a, b string) tokenScore {
-	if a == b || Singularize(a) == Singularize(b) {
+func (m *NameMatcher) tokenSimUncached(a, b int32) tokenScore {
+	ta, tb := m.tokNames[a], m.tokNames[b]
+	fa, fb := &m.tokFeats[a], &m.tokFeats[b]
+	// Distinct ids mean distinct tokens, so singular equality alone covers
+	// the "equal or equal-after-singularization" rule.
+	if fa.sing == fb.sing {
 		return tokenScore{1, true}
 	}
-	// Tokens are already lowercase and separator-free.
-	switch m.Thesaurus.RelateNormalized(a, b) {
-	case RelSynonym:
-		return tokenScore{1, true}
-	case RelAcronym, RelHypernym, RelHyponym, RelRelated:
+	// Tokens are already lowercase and separator-free; the known flags
+	// prove RelNone without the map probes (see KnownNormalized).
+	if fa.known || fb.known {
+		switch m.Thesaurus.RelateNormalized(ta, tb) {
+		case RelSynonym:
+			return tokenScore{1, true}
+		case RelAcronym, RelHypernym, RelHyponym, RelRelated:
+			return tokenScore{m.RelaxedScore, false}
+		}
+	}
+	if IsAbbreviationOf(ta, tb) || IsAbbreviationOf(tb, ta) {
 		return tokenScore{m.RelaxedScore, false}
 	}
-	if IsAbbreviationOf(a, b) || IsAbbreviationOf(b, a) {
-		return tokenScore{m.RelaxedScore, false}
-	}
-	if s := combinedStringSim(a, b); s >= m.StringSimFloor {
+	if s, ok := simAtLeast(fa.runes, fb.runes, fa.grams, fb.grams,
+		ta, tb, m.StringSimFloor); ok {
 		return tokenScore{s, false}
 	}
 	return tokenScore{}
-}
-
-// combinedStringSim blends Jaro-Winkler and trigram similarity, the pairing
-// that behaves well on both short tokens (JW) and longer compound labels
-// (trigrams). When Jaro-Winkler alone already rules out reaching the 0.75
-// floor (trigram similarity can contribute at most 1), the allocation-heavy
-// trigram pass is skipped.
-func combinedStringSim(a, b string) float64 {
-	jw := JaroWinkler(a, b)
-	if jw < 0.5 {
-		return jw / 2
-	}
-	tg := TrigramSim(a, b)
-	return (jw + tg) / 2
 }

@@ -189,6 +189,38 @@ func (t *Thesaurus) relate(na, nb string) Relation {
 	return RelNone
 }
 
+// KnownNormalized reports whether the normalized term — or its singular
+// form — is a key of any relation map. When KnownNormalized is false for
+// both terms of a pair whose singular forms differ, RelateNormalized is
+// provably RelNone: every branch of relate requires one side as a map key
+// (hyponym checks hyper keyed by the *other* term, which that term's own
+// flag covers), and the singular fallback only consults singular-form
+// keys. Hot paths use this to skip the five map probes per pair.
+func (t *Thesaurus) KnownNormalized(n string) bool {
+	if t.termKey(n) {
+		return true
+	}
+	if s := Singularize(n); s != n {
+		return t.termKey(s)
+	}
+	return false
+}
+
+// termKey reports whether n keys any of the relation maps.
+func (t *Thesaurus) termKey(n string) bool {
+	if _, ok := t.syn[n]; ok {
+		return true
+	}
+	if _, ok := t.acro[n]; ok {
+		return true
+	}
+	if _, ok := t.hyper[n]; ok {
+		return true
+	}
+	_, ok := t.rel[n]
+	return ok
+}
+
 // Synonyms returns the recorded synonyms of the term (normalized forms).
 func (t *Thesaurus) Synonyms(term string) []string {
 	var out []string

@@ -25,6 +25,7 @@ const (
 	PhaseSelect    Phase = "select"
 	PhaseCompile   Phase = "compile"
 	PhasePrefilter Phase = "prefilter"
+	PhaseRematch   Phase = "rematch"
 )
 
 // Span is one finished phase of a match trace. Counts are phase-specific:

@@ -79,7 +79,20 @@ type Registry struct {
 
 	mu      sync.RWMutex
 	schemas map[string]*qmatch.CompiledSchema
+	// matches caches pair-match reports between registered schemas, keyed
+	// by id pair. The reports carry their pair-table state (Engines built
+	// WithRematchState), so a Put replacing one side refreshes them
+	// incrementally via Engine.Rematch instead of recomputing from scratch.
+	matches map[matchKey]*qmatch.Report
 }
+
+// matchKey identifies one cached pair match by registry ids.
+type matchKey struct{ src, tgt string }
+
+// maxCachedMatches bounds the reports the registry retains for incremental
+// refresh — each pins a pair table of O(srcSize·tgtSize) memory. Beyond the
+// bound matches are still served, just not cached.
+const maxCachedMatches = 512
 
 // Open returns a registry backed by dir, creating the directory if needed
 // and loading every artifact blob (*.qma) already present — a restarted
@@ -88,7 +101,11 @@ type Registry struct {
 // error naming the file: a corrupt store is a condition to surface, not
 // to silently shrink.
 func Open(dir string) (*Registry, error) {
-	r := &Registry{dir: dir, schemas: make(map[string]*qmatch.CompiledSchema)}
+	r := &Registry{
+		dir:     dir,
+		schemas: make(map[string]*qmatch.CompiledSchema),
+		matches: make(map[matchKey]*qmatch.Report),
+	}
 	if dir == "" {
 		return r, nil
 	}
@@ -180,8 +197,19 @@ func (r *Registry) Put(id string, cs *qmatch.CompiledSchema) error {
 	}
 	r.mu.Lock()
 	r.schemas[id] = cs
+	r.dropMatchesLocked(id)
 	r.mu.Unlock()
 	return nil
+}
+
+// dropMatchesLocked invalidates every cached match involving id. Callers
+// hold the write lock.
+func (r *Registry) dropMatchesLocked(id string) {
+	for k := range r.matches {
+		if k.src == id || k.tgt == id {
+			delete(r.matches, k)
+		}
+	}
 }
 
 // Get returns the compiled schema registered under id, or ErrNotFound.
@@ -209,7 +237,122 @@ func (r *Registry) Delete(id string) error {
 		}
 	}
 	delete(r.schemas, id)
+	r.dropMatchesLocked(id)
 	return nil
+}
+
+// Match matches two registered schemas through the engine's compiled path
+// and caches the report, so a later PutRematch of either side refreshes it
+// incrementally. The second return reports a cache hit. Matching an id
+// against itself is allowed. Reports come straight from the cache when
+// present — callers must treat them as immutable.
+func (r *Registry) Match(ctx context.Context, e *qmatch.Engine, srcID, tgtID string) (*qmatch.Report, bool, error) {
+	r.mu.RLock()
+	src, sok := r.schemas[srcID]
+	tgt, tok := r.schemas[tgtID]
+	rep, hit := r.matches[matchKey{srcID, tgtID}]
+	r.mu.RUnlock()
+	if !sok {
+		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, srcID)
+	}
+	if !tok {
+		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, tgtID)
+	}
+	if hit {
+		return rep, true, nil
+	}
+	rep, err := e.MatchCompiledContext(ctx, src, tgt)
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	// Cache only while both ids still name the versions we matched — a
+	// racing Put must not be shadowed by a stale report.
+	if len(r.matches) < maxCachedMatches && r.schemas[srcID] == src && r.schemas[tgtID] == tgt {
+		r.matches[matchKey{srcID, tgtID}] = rep
+	}
+	r.mu.Unlock()
+	return rep, false, nil
+}
+
+// RefreshStat describes one cached match refreshed incrementally by
+// PutRematch: the pair's registry ids and the copied-vs-rescored breakdown.
+type RefreshStat struct {
+	Source  string              `json:"source"`
+	Target  string              `json:"target"`
+	Rematch qmatch.RematchStats `json:"rematch"`
+}
+
+// PutRematch registers a schema like Put, but instead of just dropping the
+// cached matches involving id's previous version it re-matches each of
+// them incrementally through e (Engine.Rematch): unchanged regions of the
+// evolved schema are copied from the retained pair tables, only changed
+// subtrees are rescored. Refreshes are reported per pair, sorted by id.
+// A cached report the engine cannot rematch (e.g. it carries no pair-table
+// state because e was not built WithRematchState) is simply dropped — the
+// registry never serves a stale match.
+func (r *Registry) PutRematch(id string, cs *qmatch.CompiledSchema, e *qmatch.Engine) ([]RefreshStat, error) {
+	type seed struct {
+		key   matchKey
+		rep   *qmatch.Report
+		other *qmatch.CompiledSchema // the non-evolved side at seed time
+	}
+	r.mu.RLock()
+	old := r.schemas[id]
+	var seeds []seed
+	for k, rep := range r.matches {
+		if k.src != id && k.tgt != id {
+			continue
+		}
+		other := r.schemas[k.src]
+		if k.src == id {
+			other = r.schemas[k.tgt]
+		}
+		seeds = append(seeds, seed{k, rep, other})
+	}
+	r.mu.RUnlock()
+
+	if err := r.Put(id, cs); err != nil { // drops the stale cache entries
+		return nil, err
+	}
+	if old == nil || e == nil {
+		return nil, nil
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].key.src != seeds[j].key.src {
+			return seeds[i].key.src < seeds[j].key.src
+		}
+		return seeds[i].key.tgt < seeds[j].key.tgt
+	})
+	var out []RefreshStat
+	for _, sd := range seeds {
+		rep, err := e.Rematch(sd.rep, old, cs)
+		if err == nil && sd.key.src == sd.key.tgt {
+			// Self-match: the first rematch replaced the target side, the
+			// second replaces the source side of the chained report.
+			rep, err = e.Rematch(rep, old, cs)
+		}
+		if err != nil || rep.Rematch == nil {
+			continue
+		}
+		r.mu.Lock()
+		if len(r.matches) < maxCachedMatches &&
+			r.schemas[id] == cs && r.schemas[sd.key.src] != nil && r.schemas[sd.key.tgt] != nil &&
+			(sd.key.src == id || r.schemas[sd.key.src] == sd.other) &&
+			(sd.key.tgt == id || r.schemas[sd.key.tgt] == sd.other) {
+			r.matches[sd.key] = rep
+		}
+		r.mu.Unlock()
+		out = append(out, RefreshStat{Source: sd.key.src, Target: sd.key.tgt, Rematch: *rep.Rematch})
+	}
+	return out, nil
+}
+
+// CachedMatches returns the number of pair-match reports currently cached.
+func (r *Registry) CachedMatches() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.matches)
 }
 
 // List returns the metadata of every registered schema, sorted by id.

@@ -26,10 +26,21 @@ type PutSchemaRequest struct {
 
 // SchemaEntryResponse is the body of a successful PUT or GET on
 // /v1/schemas/{id}: the registry metadata, plus the schema rendered back
-// to XSD on GET.
+// to XSD on GET. On a PUT replacing an existing schema, Rematched reports
+// the cached pair matches that were refreshed incrementally against the
+// new version (see POST /v1/schemas/{id}/match/{other}).
 type SchemaEntryResponse struct {
 	registry.Entry
-	XSD string `json:"xsd,omitempty"`
+	XSD       string                 `json:"xsd,omitempty"`
+	Rematched []registry.RefreshStat `json:"rematched,omitempty"`
+}
+
+// SchemaMatchRequest is the optional body of POST
+// /v1/schemas/{id}/match/{other}; an empty body matches with the server
+// defaults.
+type SchemaMatchRequest struct {
+	// TimeoutMs bounds the match (clamped to -max-timeout; 0 = default).
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
 }
 
 // SchemaListResponse is the body of GET /v1/schemas.
@@ -102,7 +113,11 @@ func (s *Server) handlePutSchema(w http.ResponseWriter, r *http.Request) {
 			"registry full: delete schemas or raise -max-schemas")
 		return
 	}
-	if err := s.registry.Put(id, cs); err != nil {
+	// A re-PUT refreshes the registry's cached matches incrementally: the
+	// previous version's pair tables seed Engine.Rematch, so only changed
+	// subtrees of the new schema are rescored.
+	refreshed, err := s.registry.PutRematch(id, cs, s.engine)
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -110,7 +125,47 @@ func (s *Server) handlePutSchema(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, SchemaEntryResponse{Entry: registry.EntryOf(id, cs)})
+	writeJSON(w, status, SchemaEntryResponse{Entry: registry.EntryOf(id, cs), Rematched: refreshed})
+}
+
+// handleSchemaMatch matches two registered schemas by id on the compiled
+// fast path, caching the report so a later re-PUT of either schema
+// refreshes it incrementally. Cache status is reported in the
+// X-Qmatchd-Cache header ("hit" or "miss"); the body is the library wire
+// Report, with the rematch breakdown attached when the cached report came
+// from an incremental refresh.
+func (s *Server) handleSchemaMatch(w http.ResponseWriter, r *http.Request) {
+	id, ok := schemaID(w, r)
+	if !ok {
+		return
+	}
+	other := r.PathValue("other")
+	if err := registry.ValidateID(other); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req SchemaMatchRequest
+	if !decodeOptional(w, r, &req) {
+		return
+	}
+	s.limited(w, r, req.TimeoutMs, func(ctx context.Context) {
+		rep, cached, err := s.registry.Match(ctx, s.engine, id, other)
+		if err != nil {
+			if errors.Is(err, registry.ErrNotFound) {
+				writeError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			s.writeDeadline(w, nil, err)
+			return
+		}
+		if cached {
+			w.Header().Set("X-Qmatchd-Cache", "hit")
+		} else {
+			w.Header().Set("X-Qmatchd-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = rep.WriteJSON(w)
+	})
 }
 
 func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {

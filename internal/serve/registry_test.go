@@ -247,16 +247,17 @@ func TestRouteTableCoversRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]string{
-		"PUT /v1/schemas/{id}":    "schema_put",
-		"GET /v1/schemas/{id}":    "schema_get",
-		"DELETE /v1/schemas/{id}": "schema_delete",
-		"GET /v1/schemas":         "schema_list",
-		"POST /v1/search":         "search",
-		"POST /v1/match":          "match",
-		"POST /v1/matchall":       "matchall",
-		"POST /v1/rank":           "rank",
-		"GET /healthz":            "healthz",
-		"GET /metrics":            "metrics",
+		"PUT /v1/schemas/{id}":                "schema_put",
+		"GET /v1/schemas/{id}":                "schema_get",
+		"DELETE /v1/schemas/{id}":             "schema_delete",
+		"GET /v1/schemas":                     "schema_list",
+		"POST /v1/schemas/{id}/match/{other}": "schema_match",
+		"POST /v1/search":                     "search",
+		"POST /v1/match":                      "match",
+		"POST /v1/matchall":                   "matchall",
+		"POST /v1/rank":                       "rank",
+		"GET /healthz":                        "healthz",
+		"GET /metrics":                        "metrics",
 	}
 	got := map[string]string{}
 	for _, rt := range s.routes() {

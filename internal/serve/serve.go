@@ -152,8 +152,13 @@ func New(cfg Config) (*Server, error) {
 		engines: make(map[engineKey]*qmatch.Engine),
 		reg:     obs.NewRegistry(),
 	}
+	// WithRematchState makes the default Engine's compiled-path reports
+	// carry their pair tables, so registry re-PUTs refresh cached matches
+	// incrementally (see handlePutSchema). Only registry matches take the
+	// compiled path; the schema-in-body endpoints are unaffected.
 	eng, err := qmatch.NewEngine(append(cfg.Options[:len(cfg.Options):len(cfg.Options)],
-		qmatch.WithObserver(qmatch.Observer{Logger: cfg.Logger, Metrics: true}))...)
+		qmatch.WithObserver(qmatch.Observer{Logger: cfg.Logger, Metrics: true}),
+		qmatch.WithRematchState())...)
 	if err != nil {
 		return nil, fmt.Errorf("serve: default engine: %w", err)
 	}
@@ -210,10 +215,13 @@ type route struct {
 //	POST   /v1/match         one schema pair     → Report (library wire format)
 //	POST   /v1/matchall      sources×targets     → {"reports": [[Report...]...]}
 //	POST   /v1/rank          query vs corpus     → {"ranked": [...]}
-//	PUT    /v1/schemas/{id}  register schema     → registry entry (201/200)
+//	PUT    /v1/schemas/{id}  register schema     → registry entry (201/200);
+//	                         re-PUTs refresh cached matches incrementally
 //	GET    /v1/schemas/{id}  inspect entry       → registry entry + XSD
 //	DELETE /v1/schemas/{id}  unregister          → 204
 //	GET    /v1/schemas       list registry       → {"schemas": [...]}
+//	POST   /v1/schemas/{id}/match/{other}
+//	                         match two registered schemas → Report (cached)
 //	POST   /v1/search        query vs registry   → {"results": [...]}
 //	GET    /healthz          liveness            → 200 "ok" / 503 "draining"
 //	GET    /metrics          Prometheus text: Engine + HTTP registries
@@ -226,6 +234,7 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/v1/schemas/{id}", "schema_get", s.handleGetSchema},
 		{http.MethodDelete, "/v1/schemas/{id}", "schema_delete", s.handleDeleteSchema},
 		{http.MethodGet, "/v1/schemas", "schema_list", s.handleListSchemas},
+		{http.MethodPost, "/v1/schemas/{id}/match/{other}", "schema_match", s.handleSchemaMatch},
 		{http.MethodPost, "/v1/search", "search", s.handleSearch},
 		{http.MethodGet, "/healthz", "healthz", s.handleHealthz},
 		{http.MethodGet, "/metrics", "metrics", s.handleMetrics},

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
@@ -153,6 +154,23 @@ type errorBody struct {
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	err := json.NewDecoder(r.Body).Decode(v)
 	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+	return false
+}
+
+// decodeOptional is decode for endpoints whose body is optional: an empty
+// body leaves v at its zero value and proceeds.
+func decodeOptional(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
 		return true
 	}
 	var tooLarge *http.MaxBytesError

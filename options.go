@@ -112,11 +112,30 @@ func LoadThesaurusFile(path string) (*Thesaurus, error) {
 	return LoadThesaurus(f)
 }
 
+// KernelPrecision selects the storage width of the hybrid matcher's
+// kernel score matrices (the interned label/property similarity planes).
+type KernelPrecision = core.Precision
+
+const (
+	// Float64 stores kernel scores at full width — the default, with pair
+	// tables bit-identical to the unkerneled reference computation.
+	Float64 KernelPrecision = core.PrecisionFloat64
+	// Float32 stores kernel scores at half width: on vocabulary-heavy
+	// workloads the score planes dominate kernel memory, and scores read
+	// back within float32 rounding (≤6e-8 for values in [0,1], pinned by
+	// the tolerance tests) — far below any selection threshold's
+	// discrimination, so reported correspondences are unaffected in
+	// practice.
+	Float32 KernelPrecision = core.PrecisionFloat32
+)
+
 type config struct {
 	alg                Algorithm
 	weights            *Weights
 	childThreshold     *float64
 	selectionThreshold *float64
+	precision          KernelPrecision
+	rematchState       bool
 	custom             *Thesaurus
 	noBuiltin          bool
 	parallelism        int
@@ -146,6 +165,9 @@ func (c *config) validate() error {
 	}
 	if c.selectionThreshold != nil && (*c.selectionThreshold < 0 || *c.selectionThreshold > 1) {
 		return fmt.Errorf("qmatch: selection threshold %v outside [0,1]", *c.selectionThreshold)
+	}
+	if c.precision != Float64 && c.precision != Float32 {
+		return fmt.Errorf("qmatch: unknown kernel precision %d", c.precision)
 	}
 	if c.parallelism < 0 {
 		return fmt.Errorf("qmatch: negative parallelism %d", c.parallelism)
@@ -196,6 +218,14 @@ func WithLabelCacheSize(n int) Option {
 // matches count toward the children axis (hybrid algorithm only).
 func WithChildThreshold(v float64) Option {
 	return func(c *config) { c.childThreshold = &v }
+}
+
+// WithKernelPrecision selects the storage width of the similarity-kernel
+// score matrices (hybrid algorithm only). The default Float64 keeps every
+// pair table bit-identical to the reference computation; Float32 halves
+// the kernel's score memory at float32 rounding tolerance.
+func WithKernelPrecision(p KernelPrecision) Option {
+	return func(c *config) { c.precision = p }
 }
 
 // WithSelectionThreshold overrides the minimum score for a pair to be

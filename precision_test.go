@@ -1,0 +1,60 @@
+package qmatch_test
+
+import (
+	"reflect"
+	"testing"
+
+	"qmatch"
+)
+
+// WithKernelPrecision(Float32) halves kernel score memory; the rounding it
+// introduces (≤2⁻²⁴ per score) sits far below the selection threshold's
+// discrimination, so a Float32 engine reports the same correspondences as
+// the default engine on every corpus pair.
+func TestKernelPrecisionFloat32Correspondences(t *testing.T) {
+	e64, err := qmatch.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := qmatch.NewEngine(qmatch.WithKernelPrecision(qmatch.Float32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range enginePairs() {
+		r64 := e64.Match(pair[0], pair[1])
+		r32 := e32.Match(pair[0], pair[1])
+		if len(r64.Correspondences) != len(r32.Correspondences) {
+			t.Fatalf("pair %d: %d correspondences (float64) vs %d (float32)",
+				i, len(r64.Correspondences), len(r32.Correspondences))
+		}
+		for j := range r64.Correspondences {
+			a, b := r64.Correspondences[j], r32.Correspondences[j]
+			if a.Source != b.Source || a.Target != b.Target {
+				t.Errorf("pair %d: correspondence %d differs: %s→%s vs %s→%s",
+					i, j, a.Source, a.Target, b.Source, b.Target)
+			}
+		}
+		if d := r64.TreeQoM - r32.TreeQoM; d > 1e-6 || d < -1e-6 {
+			t.Errorf("pair %d: TreeQoM drifts %.3g under float32", i, d)
+		}
+	}
+}
+
+// The default precision is Float64 and an out-of-range value is rejected
+// at engine construction.
+func TestKernelPrecisionValidation(t *testing.T) {
+	if _, err := qmatch.NewEngine(qmatch.WithKernelPrecision(qmatch.KernelPrecision(7))); err == nil {
+		t.Error("NewEngine accepted kernel precision 7")
+	}
+	// Float64 is the zero value: an explicit Float64 engine behaves as the
+	// default (spot check on one pair).
+	eDefault, _ := qmatch.NewEngine()
+	e64, err := qmatch.NewEngine(qmatch.WithKernelPrecision(qmatch.Float64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := enginePairs()[2]
+	if !reflect.DeepEqual(eDefault.Match(p[0], p[1]), e64.Match(p[0], p[1])) {
+		t.Error("explicit Float64 engine diverges from default engine")
+	}
+}

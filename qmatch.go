@@ -123,6 +123,13 @@ type Report struct {
 	// built with Observer.Tracing attach one; it is omitted from the wire
 	// format otherwise.
 	Trace *MatchTrace `json:"trace,omitempty"`
+	// Rematch breaks down the copied-vs-rescored work of an incremental
+	// re-match; only Engine.Rematch reports attach it.
+	Rematch *RematchStats `json:"rematch,omitempty"`
+
+	// state is the retained pair table of a WithRematchState compiled-path
+	// match — the seed Engine.Rematch reuses.
+	state *rematchState
 }
 
 // Match matches the source schema against the target schema with the

@@ -1,0 +1,165 @@
+package qmatch_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qmatch"
+	"qmatch/internal/dataset"
+	"qmatch/internal/xmltree"
+)
+
+// compileDatasetPair compiles both sides of a dataset pair.
+func compileDatasetPair(t *testing.T, p dataset.Pair) (*qmatch.CompiledSchema, *qmatch.CompiledSchema) {
+	t.Helper()
+	src, err := qmatch.Compile(qmatch.FromTree(p.Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := qmatch.Compile(qmatch.FromTree(p.Target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, tgt
+}
+
+// sameReport compares the user-visible match outcome, ignoring the
+// rematch bookkeeping attached only to incremental reports.
+func sameReport(t *testing.T, got, want *qmatch.Report) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Correspondences, want.Correspondences) {
+		t.Fatalf("correspondences differ:\n got %v\nwant %v", got.Correspondences, want.Correspondences)
+	}
+	if got.TreeQoM != want.TreeQoM {
+		t.Fatalf("TreeQoM %v, want %v", got.TreeQoM, want.TreeQoM)
+	}
+}
+
+// Engine.Rematch after an evolved target PUT must reproduce MatchCompiled
+// over the new pair exactly, rescoring only part of the grid.
+func TestEngineRematchTarget(t *testing.T) {
+	p := dataset.DCMDPair()
+	src, tgt := compileDatasetPair(t, p)
+
+	evolved := p.Target.Clone()
+	evolved.Leaves()[2].Label = "RenamedByEvolution"
+	evolved.Nodes()[1].Add(xmltree.New("AddedChild", xmltree.Elem("string")))
+	tgt2, err := qmatch.Compile(qmatch.FromTree(evolved))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := qmatch.NewEngine(qmatch.WithRematchState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := eng.MatchCompiled(src, tgt)
+	rep, err := eng.Rematch(prev, tgt, tgt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := qmatch.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, rep, full.MatchCompiled(src, tgt2))
+
+	st := rep.Rematch
+	if st == nil {
+		t.Fatal("rematch report carries no stats")
+	}
+	total := int64(p.Source.Size() * evolved.Size())
+	if st.Side != "target" || st.Full || st.CopiedCells == 0 || st.RescoredCells >= total {
+		t.Fatalf("not incremental: %+v over %d cells", st, total)
+	}
+
+	// The rematch report itself carries state, so evolution chains keep
+	// going: rename once more and rematch off the rematched report.
+	evolved2 := evolved.Clone()
+	evolved2.Leaves()[4].Label = "SecondGeneration"
+	tgt3, err := qmatch.Compile(qmatch.FromTree(evolved2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := eng.Rematch(rep, tgt2, tgt3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, rep2, full.MatchCompiled(src, tgt3))
+	if rep2.Rematch == nil || rep2.Rematch.Full {
+		t.Fatalf("chained rematch degraded: %+v", rep2.Rematch)
+	}
+
+	// prev stays valid after being used as a rematch seed.
+	sameReport(t, prev, full.MatchCompiled(src, tgt))
+}
+
+// Evolving the source side takes the row-copy path.
+func TestEngineRematchSource(t *testing.T) {
+	p := dataset.POPair()
+	src, tgt := compileDatasetPair(t, p)
+
+	evolved := p.Source.Clone()
+	evolved.Leaves()[1].Props.Type = "decimal"
+	src2, err := qmatch.Compile(qmatch.FromTree(evolved))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := qmatch.NewEngine(qmatch.WithRematchState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := eng.MatchCompiled(src, tgt)
+	rep, err := eng.Rematch(prev, src, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := qmatch.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, rep, full.MatchCompiled(src2, tgt))
+	if rep.Rematch == nil || rep.Rematch.Side != "source" || rep.Rematch.CopiedCells == 0 {
+		t.Fatalf("source-side stats wrong: %+v", rep.Rematch)
+	}
+}
+
+func TestEngineRematchErrors(t *testing.T) {
+	p := dataset.POPair()
+	src, tgt := compileDatasetPair(t, p)
+	other, err := qmatch.Compile(qmatch.FromTree(dataset.BookPair().Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := qmatch.NewEngine(qmatch.WithRematchState())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := eng.Rematch(nil, src, tgt); err == nil || !strings.Contains(err.Error(), "WithRematchState") {
+		t.Fatalf("nil prev: %v", err)
+	}
+	prev := eng.MatchCompiled(src, tgt)
+	if _, err := eng.Rematch(prev, nil, tgt); err == nil {
+		t.Fatal("nil old schema accepted")
+	}
+	if _, err := eng.Rematch(prev, other, tgt); err == nil || !strings.Contains(err.Error(), "not a side") {
+		t.Fatalf("foreign old schema: %v", err)
+	}
+
+	// An Engine without WithRematchState attaches no state, so its reports
+	// cannot seed a rematch.
+	plain, err := qmatch.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := plain.MatchCompiled(src, tgt)
+	if _, err := eng.Rematch(bare, tgt, tgt); err == nil {
+		t.Fatal("stateless report accepted as rematch seed")
+	}
+}
