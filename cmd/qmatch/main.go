@@ -26,6 +26,8 @@
 //	-trace                                    record the per-phase pipeline trace (parse, intern,
 //	                                          pairtable, select); printed in text mode, embedded
 //	                                          as "trace" in JSON output
+//	-trace-out FILE                           write the trace as Chrome trace-event JSON to FILE
+//	                                          (implies -trace; load in Perfetto or chrome://tracing)
 //	-dump                                     print both schema trees before matching
 package main
 
@@ -64,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	complexFlag := fs.Bool("complex", false, "report 1:n complex correspondences")
 	showQoM := fs.Bool("qom", false, "print the per-axis QoM breakdown")
 	trace := fs.Bool("trace", false, "record and report the per-phase pipeline trace")
+	traceOut := fs.String("trace-out", "", "write the pipeline trace as Chrome trace events to FILE (implies -trace; load in Perfetto)")
 	dump := fs.Bool("dump", false, "print both schema trees")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +125,9 @@ func run(args []string, out io.Writer) error {
 		}
 		opts = append(opts, qmatch.WithThesaurus(th))
 	}
+	if *traceOut != "" {
+		*trace = true
+	}
 	if *trace {
 		opts = append(opts, qmatch.WithObserver(qmatch.Observer{Tracing: true}))
 	}
@@ -140,6 +146,20 @@ func run(args []string, out io.Writer) error {
 	report := eng.Match(src, tgt)
 	if *trace && report.Trace != nil {
 		report.Trace = withParseSpans(report.Trace, src, tgt, srcLoadNs, tgtLoadNs)
+	}
+	if *traceOut != "" && report.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := report.Trace.WriteTraceEvents(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace events written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	switch *format {
 	case "json":
@@ -186,11 +206,20 @@ func run(args []string, out io.Writer) error {
 // grows accordingly.
 func withParseSpans(t *qmatch.MatchTrace, src, tgt *qmatch.Schema, srcNs, tgtNs int64) *qmatch.MatchTrace {
 	shift := srcNs + tgtNs
+	// The stitched parse spans take IDs past the engine trace's maximum so
+	// the combined span list keeps unique IDs for trace-event export.
+	var maxID int64
+	for _, s := range t.Spans {
+		if s.ID > maxID {
+			maxID = s.ID
+		}
+	}
 	out := &qmatch.MatchTrace{
+		TraceID: t.TraceID,
 		TotalNs: t.TotalNs + shift,
 		Spans: []qmatch.TraceSpan{
-			{Phase: string(obs.PhaseParse), StartNs: 0, DurationNs: srcNs, SrcNodes: src.Size()},
-			{Phase: string(obs.PhaseParse), StartNs: srcNs, DurationNs: tgtNs, TgtNodes: tgt.Size()},
+			{Phase: string(obs.PhaseParse), ID: maxID + 1, StartNs: 0, DurationNs: srcNs, SrcNodes: src.Size()},
+			{Phase: string(obs.PhaseParse), ID: maxID + 2, StartNs: srcNs, DurationNs: tgtNs, TgtNodes: tgt.Size()},
 		},
 	}
 	for _, s := range t.Spans {

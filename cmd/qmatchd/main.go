@@ -40,6 +40,11 @@
 //	-registry DIR                             persist registered schemas as artifact blobs
 //	                                          in DIR (default: in-memory only)
 //	-max-schemas N                            registry capacity (default 4096)
+//	-debug-addr HOST:PORT                     admin debug plane: net/http/pprof, expvar,
+//	                                          /debug/requests (in-flight table) and
+//	                                          /debug/slow (slowest requests with traces);
+//	                                          keep it loopback-only (default: disabled)
+//	-slow-requests N                          /debug/slow ring size (default 32)
 //	-drain DUR                                shutdown drain budget (default 15s)
 //	-log text|json                            access/lifecycle log format (default text)
 //	-quiet                                    disable logging
@@ -100,6 +105,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "clamp on request-supplied deadlines")
 	registryDir := fs.String("registry", "", "persist registered schemas as artifact blobs in this directory")
 	maxSchemas := fs.Int("max-schemas", 0, "registry capacity (0 = default 4096)")
+	debugAddr := fs.String("debug-addr", "", "listen address of the admin debug plane (pprof, expvar, /debug/requests, /debug/slow); empty disables it")
+	slowRequests := fs.Int("slow-requests", 0, "slowest completed requests kept with full traces for /debug/slow (0 = default 32, negative disables)")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown drain budget")
 	logFormat := fs.String("log", "text", "log format: text or json")
 	quiet := fs.Bool("quiet", false, "disable logging")
@@ -129,6 +136,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxTimeout:     *maxTimeout,
 		RegistryDir:    *registryDir,
 		MaxSchemas:     *maxSchemas,
+		SlowRequests:   *slowRequests,
 	})
 	if err != nil {
 		return err
@@ -144,6 +152,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "qmatchd listening on http://%s\n", ln.Addr())
 
+	// The debug plane listens separately (typically loopback-only): pprof
+	// and the request tables are operator surfaces, not API surface.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{
+			Handler:           s.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		fmt.Fprintf(out, "qmatchd debug plane on http://%s\n", dln.Addr())
+		go func() { _ = debugSrv.Serve(dln) }()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -158,6 +182,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "qmatchd draining (budget %s)\n", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}

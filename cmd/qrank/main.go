@@ -19,6 +19,8 @@
 //	-maps             also print the best entry's correspondences
 //	-trace            re-match the best entry with phase tracing on and
 //	                  print its pipeline breakdown
+//	-trace-out FILE   write the best entry's trace as Chrome trace-event
+//	                  JSON to FILE (implies -trace; load in Perfetto)
 package main
 
 import (
@@ -48,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	top := fsFlags.Int("top", 0, "print only the N best entries")
 	maps := fsFlags.Bool("maps", false, "print the best entry's correspondences")
 	trace := fsFlags.Bool("trace", false, "print the best entry's pipeline phase breakdown")
+	traceOut := fsFlags.String("trace-out", "", "write the best entry's trace as Chrome trace events to FILE (implies -trace)")
 	if err := fsFlags.Parse(args); err != nil {
 		return err
 	}
@@ -110,6 +113,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %s\n", c)
 		}
 	}
+	if *traceOut != "" {
+		*trace = true
+	}
 	if *trace && len(ranked) > 0 {
 		// Rank itself runs untraced (tracing every corpus entry would
 		// skew the ranking wall time); re-match just the winner with a
@@ -122,6 +128,20 @@ func run(args []string, out io.Writer) error {
 		}
 		report := traced.Match(query, best.Schema)
 		fmt.Fprintf(out, "\nbest match %s — %s", names[best.Index], report.Trace.Format())
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := report.Trace.WriteTraceEvents(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace events written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+		}
 	}
 	return nil
 }

@@ -186,7 +186,7 @@ func (e *Engine) MatchCompiled(src, tgt *CompiledSchema) *Report {
 	alg, release := e.algorithm(e.parallelism)
 	defer release()
 	installInterner(alg, compiledInterner(src, tgt))
-	rep := e.run(alg, src.schema, tgt.schema)
+	rep := e.run(context.Background(), alg, src.schema, tgt.schema)
 	e.attachRematchState(rep, alg, src, tgt)
 	return rep
 }
@@ -203,7 +203,7 @@ func (e *Engine) MatchCompiledContext(ctx context.Context, src, tgt *CompiledSch
 		ds.SetDone(ctx.Done())
 	}
 	installInterner(alg, compiledInterner(src, tgt))
-	report := e.run(alg, src.schema, tgt.schema)
+	report := e.run(ctx, alg, src.schema, tgt.schema)
 	if ctx.Err() == nil {
 		e.attachRematchState(report, alg, src, tgt)
 	}

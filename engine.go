@@ -65,6 +65,7 @@ type engineMetrics struct {
 	inflight  *obs.Gauge
 	workers   *obs.Gauge
 	phaseNs   map[obs.Phase]*obs.Counter
+	phaseDur  map[obs.Phase]*obs.Histogram
 }
 
 // CacheStats is a snapshot of the Engine's shared label-score cache: the
@@ -132,6 +133,17 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	e.metrics.GaugeFunc(MetricCacheEntries, func() int64 { return labels.Stats().Entries })
 	e.metrics.GaugeFunc(MetricCacheEvictions, func() int64 { return labels.Stats().Evictions })
 	if e.collect {
+		// Every pipeline phase gets a wall-time counter (aggregate share
+		// of time per phase) and a duration histogram (per-phase latency
+		// distribution — the counter's average hides tail behavior).
+		// Structural phases ("level" fill strata, the service-side
+		// "request"/"queue" spans) are deliberately absent: their time is
+		// contained in a metered phase, and folding them in would double
+		// count.
+		metered := []obs.Phase{
+			obs.PhaseMatch, obs.PhaseParse, obs.PhaseIntern, obs.PhasePairTable,
+			obs.PhaseSelect, obs.PhaseCompile, obs.PhasePrefilter, obs.PhaseRematch,
+		}
 		e.em = engineMetrics{
 			matches:   e.metrics.Counter(MetricMatches),
 			cancelled: e.metrics.Counter(MetricCancelled),
@@ -139,15 +151,12 @@ func NewEngine(opts ...Option) (*Engine, error) {
 			duration:  e.metrics.Histogram(MetricDuration, nil),
 			inflight:  e.metrics.Gauge(MetricInflight),
 			workers:   e.metrics.Gauge(MetricWorkers),
-			phaseNs: map[obs.Phase]*obs.Counter{
-				obs.PhaseParse:     e.metrics.Counter(phaseMetric(obs.PhaseParse)),
-				obs.PhaseIntern:    e.metrics.Counter(phaseMetric(obs.PhaseIntern)),
-				obs.PhasePairTable: e.metrics.Counter(phaseMetric(obs.PhasePairTable)),
-				obs.PhaseSelect:    e.metrics.Counter(phaseMetric(obs.PhaseSelect)),
-				obs.PhaseCompile:   e.metrics.Counter(phaseMetric(obs.PhaseCompile)),
-				obs.PhasePrefilter: e.metrics.Counter(phaseMetric(obs.PhasePrefilter)),
-				obs.PhaseRematch:   e.metrics.Counter(phaseMetric(obs.PhaseRematch)),
-			},
+			phaseNs:   make(map[obs.Phase]*obs.Counter, len(metered)),
+			phaseDur:  make(map[obs.Phase]*obs.Histogram, len(metered)),
+		}
+		for _, p := range metered {
+			e.em.phaseNs[p] = e.metrics.Counter(phaseMetric(p))
+			e.em.phaseDur[p] = e.metrics.Histogram(phaseDurationMetric(p), nil)
 		}
 	}
 	return e, nil
@@ -278,7 +287,7 @@ func reportFrom(alg match.Algorithm, src, tgt *Schema) *Report {
 func (e *Engine) Match(src, tgt *Schema) *Report {
 	alg, release := e.algorithm(e.parallelism)
 	defer release()
-	return e.run(alg, src, tgt)
+	return e.run(context.Background(), alg, src, tgt)
 }
 
 // observing reports whether any instrumentation is enabled; when false the
@@ -289,23 +298,38 @@ func (e *Engine) observing() bool {
 
 // run executes one match through the engine's instrumentation. With no
 // observer configured it reduces to reportFrom — one boolean check, zero
-// extra allocations.
-func (e *Engine) run(alg match.Algorithm, src, tgt *Schema) *Report {
+// extra allocations. ctx carries correlation only (trace/request IDs, the
+// phase cell and trace sink of qmatchd's debug plane); cancellation is
+// wired separately through SetDone by the callers that support it.
+func (e *Engine) run(ctx context.Context, alg match.Algorithm, src, tgt *Schema) *Report {
 	if !e.observing() {
 		return reportFrom(alg, src, tgt)
 	}
-	return e.runObserved(alg, src, tgt)
+	return e.runObserved(ctx, alg, src, tgt)
 }
 
 // runObserved is the instrumented match path: a phase trace is recorded
 // whenever tracing or metrics are on (per-phase wall-time counters need
 // the spans), attached to the Report when tracing is on, folded into the
 // registry when metrics are on, and summarized to the logger when one is
-// configured.
-func (e *Engine) runObserved(alg match.Algorithm, src, tgt *Schema) *Report {
+// configured. The trace is hierarchical: a root "match" span adopts the
+// matcher's pipeline spans (intern → pairtable with per-level children →
+// select). A context correlated by qmatchd contributes the trace ID
+// stamped on the trace and every log line, the phase cell mirroring the
+// current phase into /debug/requests, and the trace sink that hands the
+// finished trace back for /debug/slow stitching.
+func (e *Engine) runObserved(ctx context.Context, alg match.Algorithm, src, tgt *Schema) *Report {
 	var tr *obs.Trace
+	var matchSpan *obs.ActiveSpan
 	if e.tracing || e.collect {
 		tr = obs.NewTrace()
+		if traceID, _ := obs.IDsFromContext(ctx); traceID != "" {
+			tr.SetID(traceID)
+		}
+		tr.SetPhaseCell(obs.PhaseCellFromContext(ctx))
+		matchSpan = tr.StartSpan(obs.PhaseMatch)
+		matchSpan.SetNodes(src.Size(), tgt.Size())
+		tr.SetParent(matchSpan)
 		if ts, ok := alg.(interface{ SetTrace(*obs.Trace) }); ok {
 			ts.SetTrace(tr)
 			defer ts.SetTrace(nil)
@@ -316,6 +340,7 @@ func (e *Engine) runObserved(alg match.Algorithm, src, tgt *Schema) *Report {
 	report := reportFrom(alg, src, tgt)
 	elapsed := time.Since(start)
 	e.em.inflight.Add(-1)
+	matchSpan.End()
 
 	var mt *obs.MatchTrace
 	partial := false
@@ -326,6 +351,9 @@ func (e *Engine) runObserved(alg match.Algorithm, src, tgt *Schema) *Report {
 		}
 		if e.tracing {
 			report.Trace = publicMatchTrace(mt)
+		}
+		if sink := obs.TraceSinkFromContext(ctx); sink != nil {
+			sink(mt)
 		}
 	}
 	if e.collect {
@@ -340,7 +368,10 @@ func (e *Engine) runObserved(alg match.Algorithm, src, tgt *Schema) *Report {
 		}
 		if mt != nil {
 			for i := range mt.Spans {
+				// Unmetered structural phases miss both maps; the nil
+				// handles no-op.
 				e.em.phaseNs[mt.Spans[i].Phase].Add(mt.Spans[i].DurationNs)
+				e.em.phaseDur[mt.Spans[i].Phase].Observe(float64(mt.Spans[i].DurationNs) / 1e9)
 			}
 		}
 	}
@@ -349,7 +380,7 @@ func (e *Engine) runObserved(alg match.Algorithm, src, tgt *Schema) *Report {
 		if partial {
 			level, msg = slog.LevelWarn, "match cancelled"
 		}
-		e.logger.LogAttrs(context.Background(), level, msg,
+		e.logger.LogAttrs(ctx, level, msg,
 			slog.String("algorithm", report.Algorithm),
 			slog.String("source", src.Name()),
 			slog.String("target", tgt.Name()),
@@ -381,7 +412,7 @@ func (e *Engine) MatchContext(ctx context.Context, src, tgt *Schema) (*Report, e
 	if ds, ok := alg.(interface{ SetDone(<-chan struct{}) }); ok {
 		ds.SetDone(ctx.Done())
 	}
-	report := e.run(alg, src, tgt)
+	report := e.run(ctx, alg, src, tgt)
 	return report, ctx.Err()
 }
 
@@ -519,7 +550,7 @@ func (e *Engine) matchAll(ctx context.Context, sources, targets []*Schema, inter
 					// large batches.
 					resetter.ResetCache()
 				}
-				out[jb.i][jb.j] = e.run(alg, sources[jb.i], targets[jb.j])
+				out[jb.i][jb.j] = e.run(ctx, alg, sources[jb.i], targets[jb.j])
 				completed.Add(1)
 			}
 		}()

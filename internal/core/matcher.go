@@ -355,7 +355,7 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 	}
 	sp := m.Trace.StartSpan(obs.PhasePairTable)
 	partial := false
-	for _, level := range levels {
+	for li, level := range levels {
 		if m.aborted() {
 			partial = true
 			break
@@ -364,6 +364,14 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 		if n > len(level) {
 			n = len(level)
 		}
+		// One child span per height level: the per-level breakdown shows
+		// which stratum of the fill dominates (the wide leaf levels of a
+		// bushy schema vs the few expensive rows near the root).
+		lsp := sp.Child(obs.PhaseLevel)
+		lsp.SetLevel(li + 1)
+		lsp.SetNodes(len(level), len(r.tgtNodes))
+		lsp.SetCells(int64(len(level)) * int64(len(r.tgtNodes)))
+		lsp.SetWorkers(n)
 		jobs := make(chan int32, len(level))
 		for _, si := range level {
 			jobs <- si
@@ -388,6 +396,10 @@ func (m *Matcher) treeParallel(r *Result, w AxisWeights, par int) {
 				}
 			})
 		wg.Wait()
+		if m.aborted() {
+			lsp.MarkPartial()
+		}
+		lsp.End()
 	}
 	partial = partial || m.aborted()
 	if sp != nil {

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Request correlation: W3C traceparent handling, context propagation of
+// trace/request IDs and live traces, and the slog.Handler wrapper that
+// stamps every log line of a request with its IDs. The convention is the
+// Trace Context spec's: a 32-hex-digit trace ID identifies the end-to-end
+// request across process boundaries, a 16-hex-digit span/request ID
+// identifies one hop. qmatchd accepts an inbound traceparent at the HTTP
+// edge (generating IDs when the client sent none), threads both IDs
+// through context into the Engine and registry operations, and echoes the
+// trace ID back as X-Request-Id.
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>") and returns
+// its trace and parent-span IDs. ok is false for malformed values and for
+// the all-zero IDs the spec forbids.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	// Version ff is invalid per spec; future versions may append fields
+	// after the flags, so only the prefix is validated.
+	if !isHex(h[:2]) || h[:2] == "ff" {
+		return "", "", false
+	}
+	traceID, parentID = h[3:35], h[36:52]
+	if !isHex(traceID) || !isHex(parentID) || !isHex(h[53:55]) {
+		return "", "", false
+	}
+	if traceID == "00000000000000000000000000000000" || parentID == "0000000000000000" {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value with the
+// sampled flag set.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTraceID returns a random 32-hex-digit W3C trace ID.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a random 16-hex-digit W3C span/request ID.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is unrecoverable for correlation purposes;
+		// an all-zero ID at least stays structurally valid downstream.
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+type ctxKey int
+
+const (
+	ctxKeyIDs ctxKey = iota
+	ctxKeyTrace
+	ctxKeyPhaseCell
+	ctxKeyTraceSink
+)
+
+type ctxIDs struct{ traceID, requestID string }
+
+// ContextWithIDs attaches a trace ID and request ID to the context. Every
+// slog line routed through a CorrelationHandler with this context carries
+// both as attributes.
+func ContextWithIDs(ctx context.Context, traceID, requestID string) context.Context {
+	return context.WithValue(ctx, ctxKeyIDs, ctxIDs{traceID, requestID})
+}
+
+// IDsFromContext returns the trace and request IDs attached by
+// ContextWithIDs ("" when absent).
+func IDsFromContext(ctx context.Context) (traceID, requestID string) {
+	if ctx == nil {
+		return "", ""
+	}
+	ids, _ := ctx.Value(ctxKeyIDs).(ctxIDs)
+	return ids.traceID, ids.requestID
+}
+
+// ContextWithTrace attaches a live request-level Trace, letting layers
+// below the HTTP edge (the admission limiter's queue wait, registry
+// operations) add spans to the request's own trace.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKeyTrace, tr)
+}
+
+// TraceFromContext returns the request-level Trace (nil when absent).
+func TraceFromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKeyTrace).(*Trace)
+	return tr
+}
+
+// ContextWithPhaseCell attaches a PhaseCell; an Engine match run under this
+// context mirrors its current pipeline phase into the cell, which the
+// qmatchd /debug/requests table reads for its "phase" column.
+func ContextWithPhaseCell(ctx context.Context, c *PhaseCell) context.Context {
+	return context.WithValue(ctx, ctxKeyPhaseCell, c)
+}
+
+// PhaseCellFromContext returns the attached PhaseCell (nil when absent).
+func PhaseCellFromContext(ctx context.Context) *PhaseCell {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(ctxKeyPhaseCell).(*PhaseCell)
+	return c
+}
+
+// TraceSink receives the finished trace of one engine match run under a
+// correlated context. qmatchd installs one per request so it can stitch
+// engine traces under its request span for /debug/slow, even when the
+// client did not ask for a trace in the response body.
+type TraceSink func(*MatchTrace)
+
+// ContextWithTraceSink attaches a TraceSink to the context. The sink may
+// be called from multiple goroutines (one per MatchAll job) and must be
+// concurrency-safe.
+func ContextWithTraceSink(ctx context.Context, sink TraceSink) context.Context {
+	return context.WithValue(ctx, ctxKeyTraceSink, sink)
+}
+
+// TraceSinkFromContext returns the attached TraceSink (nil when absent).
+func TraceSinkFromContext(ctx context.Context) TraceSink {
+	if ctx == nil {
+		return nil
+	}
+	sink, _ := ctx.Value(ctxKeyTraceSink).(TraceSink)
+	return sink
+}
+
+// PhaseCell is a lock-free single-value mailbox for the phase a request is
+// currently in. A Trace with a cell installed stores every span start into
+// it; readers (the in-flight request table) load the latest value without
+// touching the trace's lock. All methods no-op on a nil receiver.
+type PhaseCell struct{ v atomic.Value }
+
+// Set stores the current phase.
+func (c *PhaseCell) Set(p Phase) {
+	if c == nil {
+		return
+	}
+	c.v.Store(p)
+}
+
+// Get returns the most recently stored phase ("" before the first Set).
+func (c *PhaseCell) Get() Phase {
+	if c == nil {
+		return ""
+	}
+	p, _ := c.v.Load().(Phase)
+	return p
+}
+
+// CorrelationHandler is a slog.Handler wrapper that injects trace_id and
+// request_id attributes from the record's context (see ContextWithIDs).
+// Log calls whose context carries no IDs pass through unchanged, so one
+// wrapped logger serves both correlated request work and background
+// lifecycle events.
+type CorrelationHandler struct{ inner slog.Handler }
+
+// NewCorrelationHandler wraps inner with ID injection.
+func NewCorrelationHandler(inner slog.Handler) *CorrelationHandler {
+	return &CorrelationHandler{inner: inner}
+}
+
+func (h *CorrelationHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *CorrelationHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if traceID, requestID := IDsFromContext(ctx); traceID != "" || requestID != "" {
+		rec = rec.Clone()
+		if traceID != "" {
+			rec.AddAttrs(slog.String("trace_id", traceID))
+		}
+		if requestID != "" {
+			rec.AddAttrs(slog.String("request_id", requestID))
+		}
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *CorrelationHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &CorrelationHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *CorrelationHandler) WithGroup(name string) slog.Handler {
+	return &CorrelationHandler{inner: h.inner.WithGroup(name)}
+}
+
+var _ slog.Handler = (*CorrelationHandler)(nil)

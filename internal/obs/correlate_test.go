@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	cases := []struct {
+		name    string
+		header  string
+		ok      bool
+		traceID string
+		spanID  string
+	}{
+		{"valid", valid, true, "0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331"},
+		{"future version extra fields", "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", true,
+			"0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331"},
+		{"empty", "", false, "", ""},
+		{"truncated", valid[:40], false, "", ""},
+		{"version ff", "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", false, "", ""},
+		{"zero trace id", "00-00000000000000000000000000000000-b7ad6b7169203331-01", false, "", ""},
+		{"zero span id", "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", false, "", ""},
+		{"uppercase hex", "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", false, "", ""},
+		{"bad separators", "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01", false, "", ""},
+		{"non-hex trace id", "00-0af7651916cd43dd8448eb211c80319z-b7ad6b7169203331-01", false, "", ""},
+	}
+	for _, tc := range cases {
+		traceID, spanID, ok := ParseTraceparent(tc.header)
+		if ok != tc.ok || traceID != tc.traceID || spanID != tc.spanID {
+			t.Errorf("%s: ParseTraceparent(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.name, tc.header, traceID, spanID, ok, tc.traceID, tc.spanID, tc.ok)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrips(t *testing.T) {
+	traceID, spanID := NewTraceID(), NewSpanID()
+	if len(traceID) != 32 || !isHex(traceID) {
+		t.Fatalf("NewTraceID() = %q, want 32 hex digits", traceID)
+	}
+	if len(spanID) != 16 || !isHex(spanID) {
+		t.Fatalf("NewSpanID() = %q, want 16 hex digits", spanID)
+	}
+	h := FormatTraceparent(traceID, spanID)
+	gotTrace, gotSpan, ok := ParseTraceparent(h)
+	if !ok || gotTrace != traceID || gotSpan != spanID {
+		t.Fatalf("round trip of %q = (%q, %q, %v)", h, gotTrace, gotSpan, ok)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if traceID, requestID := IDsFromContext(ctx); traceID != "" || requestID != "" {
+		t.Fatalf("empty context carries IDs (%q, %q)", traceID, requestID)
+	}
+	if TraceFromContext(ctx) != nil || PhaseCellFromContext(ctx) != nil || TraceSinkFromContext(ctx) != nil {
+		t.Fatal("empty context carries trace plumbing")
+	}
+
+	tr := NewTrace()
+	cell := &PhaseCell{}
+	var sunk *MatchTrace
+	ctx = ContextWithIDs(ctx, "aaaa", "bbbb")
+	ctx = ContextWithTrace(ctx, tr)
+	ctx = ContextWithPhaseCell(ctx, cell)
+	ctx = ContextWithTraceSink(ctx, func(mt *MatchTrace) { sunk = mt })
+
+	if traceID, requestID := IDsFromContext(ctx); traceID != "aaaa" || requestID != "bbbb" {
+		t.Fatalf("IDs = (%q, %q)", traceID, requestID)
+	}
+	if TraceFromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip")
+	}
+	if PhaseCellFromContext(ctx) != cell {
+		t.Fatal("phase cell did not round-trip")
+	}
+	want := &MatchTrace{}
+	TraceSinkFromContext(ctx)(want)
+	if sunk != want {
+		t.Fatal("trace sink did not round-trip")
+	}
+}
+
+func TestPhaseCell(t *testing.T) {
+	var nilCell *PhaseCell
+	nilCell.Set(PhaseIntern) // must not panic
+	if p := nilCell.Get(); p != "" {
+		t.Fatalf("nil cell Get() = %q", p)
+	}
+	cell := &PhaseCell{}
+	if p := cell.Get(); p != "" {
+		t.Fatalf("fresh cell Get() = %q", p)
+	}
+	cell.Set(PhasePairTable)
+	if p := cell.Get(); p != PhasePairTable {
+		t.Fatalf("Get() = %q, want pairtable", p)
+	}
+
+	// A trace with the cell installed mirrors every span start into it.
+	tr := NewTrace()
+	tr.SetPhaseCell(cell)
+	sp := tr.StartSpan(PhaseSelect)
+	if p := cell.Get(); p != PhaseSelect {
+		t.Fatalf("cell after StartSpan = %q, want select", p)
+	}
+	sp.End()
+}
+
+// The correlation handler injects trace_id/request_id from the log call's
+// context and passes uncorrelated records through untouched.
+func TestCorrelationHandler(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewCorrelationHandler(slog.NewJSONHandler(&buf, nil)))
+
+	ctx := ContextWithIDs(context.Background(), "0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+	logger.LogAttrs(ctx, slog.LevelInfo, "correlated")
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "background")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines:\n%s", len(lines), buf.String())
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["trace_id"] != "0af7651916cd43dd8448eb211c80319c" || first["request_id"] != "b7ad6b7169203331" {
+		t.Fatalf("correlated line missing IDs: %v", first)
+	}
+	if _, ok := second["trace_id"]; ok {
+		t.Fatalf("background line gained a trace_id: %v", second)
+	}
+
+	// WithAttrs/WithGroup must preserve the wrapper.
+	buf.Reset()
+	logger.With("k", "v").WithGroup("g").LogAttrs(ctx, slog.LevelInfo, "nested", slog.String("a", "b"))
+	if s := buf.String(); !strings.Contains(s, `"trace_id"`) || !strings.Contains(s, `"k":"v"`) {
+		t.Fatalf("derived logger lost correlation or attrs:\n%s", s)
+	}
+}

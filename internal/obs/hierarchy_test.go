@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Spans get start-ordered IDs; StartChild/Child link ParentID; SetParent
+// makes later StartSpan calls nest under an adopted parent without the
+// caller passing it around.
+func TestSpanHierarchy(t *testing.T) {
+	tr := NewTrace()
+	tr.SetID("cafe")
+	root := tr.StartSpan(PhaseRequest)
+	if root.ID() != 1 {
+		t.Fatalf("root ID = %d, want 1", root.ID())
+	}
+	tr.SetParent(root)
+	queue := tr.StartSpan(PhaseQueue)
+	queue.End()
+	match := tr.StartSpan(PhaseMatch)
+	level := match.Child(PhaseLevel)
+	level.SetLevel(2)
+	level.End()
+	match.End()
+	root.End()
+
+	mt := tr.Finish()
+	if mt.TraceID != "cafe" {
+		t.Fatalf("TraceID = %q", mt.TraceID)
+	}
+	parentOf := make(map[Phase]int64)
+	idOf := make(map[Phase]int64)
+	for _, s := range mt.Spans {
+		parentOf[s.Phase] = s.ParentID
+		idOf[s.Phase] = s.ID
+	}
+	if parentOf[PhaseRequest] != 0 {
+		t.Fatalf("request span is not a root: parent %d", parentOf[PhaseRequest])
+	}
+	if parentOf[PhaseQueue] != idOf[PhaseRequest] || parentOf[PhaseMatch] != idOf[PhaseRequest] {
+		t.Fatalf("queue/match not parented under request: %v / %v", parentOf, idOf)
+	}
+	if parentOf[PhaseLevel] != idOf[PhaseMatch] {
+		t.Fatalf("level span parent = %d, want match %d", parentOf[PhaseLevel], idOf[PhaseMatch])
+	}
+
+	// Format indents children under their parents.
+	text := mt.Format()
+	if !strings.Contains(text, "level=2") {
+		t.Fatalf("Format() lost the level annotation:\n%s", text)
+	}
+	var reqIndent, levelIndent int
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		switch {
+		case strings.HasPrefix(trimmed, "request"):
+			reqIndent = len(line) - len(trimmed)
+		case strings.HasPrefix(trimmed, "level"):
+			levelIndent = len(line) - len(trimmed)
+		}
+	}
+	if levelIndent <= reqIndent {
+		t.Fatalf("level span not indented deeper than request (%d vs %d):\n%s",
+			levelIndent, reqIndent, text)
+	}
+}
+
+// Graft stitches a child trace under a parent span: IDs are remapped past
+// the host's maximum, roots are reparented, the timeline shifts by the
+// offset, and the host total grows to cover the graft.
+func TestGraft(t *testing.T) {
+	host := &MatchTrace{
+		TotalNs: 1000,
+		Spans: []Span{
+			{Phase: PhaseRequest, ID: 1, StartNs: 0, DurationNs: 1000},
+			{Phase: PhaseQueue, ID: 2, ParentID: 1, StartNs: 10, DurationNs: 50},
+		},
+	}
+	child := &MatchTrace{
+		TotalNs: 500,
+		Spans: []Span{
+			{Phase: PhaseMatch, ID: 1, StartNs: 0, DurationNs: 500},
+			{Phase: PhaseIntern, ID: 2, ParentID: 1, StartNs: 5, DurationNs: 100},
+		},
+	}
+	host.Graft(child, 1, 600)
+
+	if len(host.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(host.Spans))
+	}
+	byPhase := make(map[Phase]Span)
+	for _, s := range host.Spans {
+		byPhase[s.Phase] = s
+	}
+	match, intern := byPhase[PhaseMatch], byPhase[PhaseIntern]
+	if match.ID != 3 || intern.ID != 4 {
+		t.Fatalf("grafted IDs = %d/%d, want 3/4", match.ID, intern.ID)
+	}
+	if match.ParentID != 1 {
+		t.Fatalf("grafted root reparented to %d, want 1", match.ParentID)
+	}
+	if intern.ParentID != match.ID {
+		t.Fatalf("grafted child parent = %d, want %d", intern.ParentID, match.ID)
+	}
+	if match.StartNs != 600 || intern.StartNs != 605 {
+		t.Fatalf("timeline not shifted: %d / %d", match.StartNs, intern.StartNs)
+	}
+	if host.TotalNs != 1100 {
+		t.Fatalf("TotalNs = %d, want 1100 (offset + child total)", host.TotalNs)
+	}
+
+	// Grafting nothing is a no-op.
+	before := len(host.Spans)
+	host.Graft(nil, 1, 0)
+	host.Graft(&MatchTrace{}, 1, 0)
+	if len(host.Spans) != before {
+		t.Fatalf("empty graft changed the trace")
+	}
+}

@@ -115,6 +115,9 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	// Percentiles are p50/p90/p99 estimates derived from the buckets
+	// (see Quantile); omitted for empty histograms.
+	Percentiles map[string]float64 `json:"percentiles,omitempty"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -127,7 +130,59 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	if s.Count > 0 {
+		s.Percentiles = map[string]float64{
+			"p50": s.Quantile(0.50),
+			"p90": s.Quantile(0.90),
+			"p99": s.Quantile(0.99),
+		}
+	}
 	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly inside the bucket the quantile lands in — the
+// same estimate Prometheus's histogram_quantile computes. Observations in
+// the +Inf bucket clamp to the highest finite bound (there is no upper
+// edge to interpolate toward); an empty histogram returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Registry is a concurrency-safe collection of named instruments. Names
@@ -312,9 +367,11 @@ func (r *Registry) Publish(name string) {
 //	LabeledName("http_requests_total", "route", "match", "code", "200")
 //	  => `http_requests_total{route="match",code="200"}`
 //
-// Quotes and backslashes in values are escaped per the Prometheus text
-// format. With no pairs the base name is returned unchanged. This is the
-// inverse convention of splitName: names built here expose correctly in
+// Backslashes, quotes and newlines in values are escaped per the
+// Prometheus text format (`\\`, `\"`, `\n`) — a hostile label value cannot
+// break out of its sample line or inject new samples into the exposition.
+// With no pairs the base name is returned unchanged. This is the inverse
+// convention of splitName: names built here expose correctly in
 // WritePrometheus, grouped under the base family.
 func LabeledName(base string, kv ...string) string {
 	if len(kv) < 2 {
@@ -331,10 +388,16 @@ func LabeledName(base string, kv ...string) string {
 		b.WriteString(`="`)
 		v := kv[i+1]
 		for j := 0; j < len(v); j++ {
-			if v[j] == '"' || v[j] == '\\' {
-				b.WriteByte('\\')
+			switch v[j] {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteByte(v[j])
 			}
-			b.WriteByte(v[j])
 		}
 		b.WriteString(`"`)
 	}

@@ -172,6 +172,8 @@ func TestLabeledName(t *testing.T) {
 		{"m_total", []string{"route", "match", "code", "200"}, `m_total{route="match",code="200"}`},
 		{"m_total", []string{"q", `say "hi"`}, `m_total{q="say \"hi\""}`},
 		{"m_total", []string{"p", `a\b`}, `m_total{p="a\\b"}`},
+		{"m_total", []string{"p", "evil\nvalue"}, `m_total{p="evil\nvalue"}`},
+		{"m_total", []string{"p", "\\\"\n"}, `m_total{p="\\\"\n"}`},
 	}
 	for _, tc := range cases {
 		if got := LabeledName(tc.base, tc.kv...); got != tc.want {
@@ -204,5 +206,102 @@ rt_total{route="b",code="200"} 2
 `
 	if got != want {
 		t.Fatalf("prometheus text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// A hostile label value — backslash, quote and a raw newline — must stay
+// on a single exposition line: the newline is escaped inside the quoted
+// label value, so scrapers never see a broken sample.
+func TestWritePrometheusHostileLabelValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("evil_total", "q", "back\\slash \"quote\"\nnewline")).Add(7)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "# TYPE evil_total counter\n" +
+		`evil_total{q="back\\slash \"quote\"\nnewline"} 7` + "\n"
+	if got != want {
+		t.Fatalf("hostile label exposition:\n%q\nwant:\n%q", got, want)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("hostile value split the sample across %d lines", len(lines))
+	}
+}
+
+// Quantile interpolates linearly inside the owning bucket (the
+// histogram_quantile estimate), clamps the +Inf bucket to the highest
+// finite bound, and reports 0 for empty histograms. snapshot() derives
+// the p50/p90/p99 summary from the same estimator.
+func TestHistogramQuantile(t *testing.T) {
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-9 && d > -1e-9
+	}
+
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{10, 60, 20, 10}, // last entry is the +Inf bucket
+		Count:  100,
+	}
+	// rank 50 lands 40/60 into the (1,2] bucket.
+	if got := s.Quantile(0.50); !approx(got, 1+40.0/60.0) {
+		t.Fatalf("p50 = %v, want %v", got, 1+40.0/60.0)
+	}
+	// rank 90 exhausts the (2,4] bucket exactly.
+	if got := s.Quantile(0.90); !approx(got, 4) {
+		t.Fatalf("p90 = %v, want 4", got)
+	}
+	// rank 99 lands in the +Inf bucket: clamp to the last finite bound.
+	if got := s.Quantile(0.99); !approx(got, 4) {
+		t.Fatalf("p99 = %v, want 4 (clamped)", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := s.Quantile(-1); !approx(got, s.Quantile(0)) {
+		t.Fatalf("Quantile(-1) = %v", got)
+	}
+	if got := s.Quantile(2); !approx(got, s.Quantile(1)) {
+		t.Fatalf("Quantile(2) = %v", got)
+	}
+
+	// Midpoint interpolation: all mass in one bucket puts p50 at its
+	// middle.
+	mid := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 100, 0}, Count: 100}
+	if got := mid.Quantile(0.50); !approx(got, 1.5) {
+		t.Fatalf("single-bucket p50 = %v, want 1.5", got)
+	}
+
+	// Empty histogram: Quantile is 0 and snapshot omits Percentiles.
+	empty := HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{0, 0}}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+
+	// Live histogram: snapshot carries the percentile summary.
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1.5)
+	}
+	snap := h.snapshot()
+	if snap.Percentiles == nil {
+		t.Fatal("snapshot of a non-empty histogram omitted Percentiles")
+	}
+	for _, k := range []string{"p50", "p90", "p99"} {
+		if _, ok := snap.Percentiles[k]; !ok {
+			t.Fatalf("Percentiles missing %s: %v", k, snap.Percentiles)
+		}
+	}
+	if p50 := snap.Percentiles["p50"]; p50 <= 1 || p50 > 2 {
+		t.Fatalf("p50 = %v, want inside (1,2]", p50)
+	}
+	fresh := r.Histogram("fresh_seconds", []float64{1})
+	if snap := fresh.snapshot(); snap.Percentiles != nil {
+		t.Fatalf("empty histogram snapshot has Percentiles: %v", snap.Percentiles)
 	}
 }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Runtime introspection gauges for the debug plane: process vitals
+// registered as pull-style gauge funcs, so they cost nothing until the
+// registry is scraped.
+
+// memStatsCache rate-limits runtime.ReadMemStats: one read serves every
+// heap/GC gauge of a scrape, and scrapes within a second share it.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > time.Second {
+		runtime.ReadMemStats(&c.stat)
+		c.at = now
+	}
+	return c.stat
+}
+
+// RegisterRuntimeGauges registers process-vital gauges under the given
+// metric-name prefix (e.g. "qmatchd"): goroutine count, heap bytes in use,
+// cumulative GC pause nanoseconds, completed GC cycles, and process uptime
+// in seconds. It also registers the conventional qmatch_build_info gauge
+// (module-level, so the name is stable across binaries) — constant 1, with
+// the Go version and main-module version (and VCS revision when the build
+// recorded one) as labels — so a scrape identifies exactly what binary is
+// running.
+func RegisterRuntimeGauges(r *Registry, prefix string) {
+	start := time.Now()
+	cache := &memStatsCache{}
+	r.GaugeFunc(prefix+"_goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc(prefix+"_heap_alloc_bytes", func() int64 {
+		return int64(cache.get().HeapAlloc)
+	})
+	r.GaugeFunc(prefix+"_gc_pause_ns_total", func() int64 {
+		return int64(cache.get().PauseTotalNs)
+	})
+	r.GaugeFunc(prefix+"_gc_cycles_total", func() int64 {
+		return int64(cache.get().NumGC)
+	})
+	r.GaugeFunc(prefix+"_uptime_seconds", func() int64 {
+		return int64(time.Since(start).Seconds())
+	})
+
+	goVersion, modVersion, revision := runtime.Version(), "(devel)", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			modVersion = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	kv := []string{"go_version", goVersion, "version", modVersion}
+	if revision != "" {
+		kv = append(kv, "revision", revision)
+	}
+	r.GaugeFunc(LabeledName("qmatch_build_info", kv...), func() int64 { return 1 })
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// deterministicTrace is the hand-built two-phase match trace the golden
+// test pins: a "match" root over intern and pairtable (with one level
+// child) and a partial select, with fixed nanosecond timestamps.
+func deterministicTrace() *MatchTrace {
+	return &MatchTrace{
+		TraceID: "0af7651916cd43dd8448eb211c80319c",
+		TotalNs: 5_000_000,
+		Spans: []Span{
+			{Phase: PhaseMatch, ID: 1, StartNs: 0, DurationNs: 5_000_000, SrcNodes: 10, TgtNodes: 9},
+			{Phase: PhaseIntern, ID: 2, ParentID: 1, StartNs: 100_000, DurationNs: 1_900_000,
+				SrcNodes: 10, TgtNodes: 9, Cells: 162, Workers: 1},
+			{Phase: PhasePairTable, ID: 3, ParentID: 1, StartNs: 2_000_000, DurationNs: 2_500_000,
+				SrcNodes: 10, TgtNodes: 9, Cells: 90, Workers: 2},
+			{Phase: PhaseLevel, ID: 4, ParentID: 3, StartNs: 2_050_000, DurationNs: 1_200_000,
+				Level: 1, Workers: 2},
+			{Phase: PhaseSelect, ID: 5, ParentID: 1, StartNs: 4_600_000, DurationNs: 350_000,
+				Cells: 90, Selected: 3, Partial: true},
+		},
+	}
+}
+
+// TestTraceEventsGolden pins the Chrome trace-event export byte-for-byte:
+// map keys serialize sorted, timestamps are fixed, so the output is fully
+// deterministic. Regenerate deliberately with
+// `go test -run TraceEventsGolden -update ./internal/obs`.
+func TestTraceEventsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := deterministicTrace().WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "traceevents_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace-event export drifted from %s (run with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// The exported JSON must be structurally loadable by Perfetto: a JSON
+// array whose entries carry the required Trace Event Format fields, with
+// complete ("X") events for every span in microseconds and metadata ("M")
+// events naming process and track.
+func TestTraceEventsStructure(t *testing.T) {
+	var buf bytes.Buffer
+	mt := deterministicTrace()
+	if err := mt.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not a JSON array: %v", err)
+	}
+	var meta, complete int
+	for _, ev := range events {
+		ph, _ := ev["ph"].(string)
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event missing name: %v", ev)
+		}
+		switch ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("complete event missing ts: %v", ev)
+			}
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase type %q: %v", ph, ev)
+		}
+	}
+	if meta != 2 || complete != len(mt.Spans) {
+		t.Fatalf("got %d metadata + %d complete events, want 2 + %d", meta, complete, len(mt.Spans))
+	}
+	// Spot-check the unit conversion on the intern span (after the two
+	// metadata events and the match root): ns -> µs.
+	if ts := events[3]["ts"].(float64); ts != 100 {
+		t.Fatalf("intern span ts = %v µs, want 100", ts)
+	}
+}
+
+// Fuzz-style validity: whatever span values a trace carries — zero
+// durations, negative starts from clock skew, huge counts, empty traces,
+// missing IDs, hostile phase names — the export must be valid JSON that
+// round-trips through the Trace Event schema.
+func TestTraceEventsAlwaysValidJSON(t *testing.T) {
+	// Deterministic pseudo-random generator (no seed-time dependence).
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() int64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int64(state)
+	}
+	phases := []Phase{PhaseParse, PhaseIntern, PhasePairTable, PhaseSelect,
+		PhaseMatch, PhaseRequest, PhaseQueue, PhaseLevel, Phase(`hostile"phase<>&`), Phase("")}
+	for round := 0; round < 200; round++ {
+		mt := &MatchTrace{TotalNs: next() % 1_000_000_000_000}
+		if round%3 == 0 {
+			mt.TraceID = "deadbeefdeadbeefdeadbeefdeadbeef"
+		}
+		nspans := int(uint64(next()) % 12)
+		for i := 0; i < nspans; i++ {
+			mt.Spans = append(mt.Spans, Span{
+				Phase:      phases[uint64(next())%uint64(len(phases))],
+				ID:         next() % 16,
+				ParentID:   next() % 16,
+				StartNs:    next() % 1_000_000_000_000,
+				DurationNs: next() % 1_000_000_000_000,
+				SrcNodes:   int(next() % 1_000_000),
+				TgtNodes:   int(next() % 1_000_000),
+				Cells:      next(),
+				Workers:    int(next() % 64),
+				Selected:   int(next() % 1_000_000),
+				Level:      int(next() % 64),
+				Partial:    next()%2 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if err := mt.WriteTraceEvents(&buf); err != nil {
+			t.Fatalf("round %d: WriteTraceEvents: %v", round, err)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+			t.Fatalf("round %d: export is not valid JSON: %v\n%s", round, err, buf.String())
+		}
+		if len(events) != len(mt.Spans)+2 {
+			t.Fatalf("round %d: %d events for %d spans", round, len(events), len(mt.Spans))
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// The qmatchd debug plane: a second, operator-facing HTTP surface meant
+// for a loopback/admin listener (-debug-addr), kept off the public API
+// handler on purpose — pprof and the request tables expose internals that
+// have no place on a service port. It carries the standard Go profiling
+// endpoints, expvar, and two request tables fed by the correlation
+// middleware: /debug/requests (every in-flight request with its age,
+// route, trace ID and current pipeline phase) and /debug/slow (a bounded
+// ring of the slowest completed requests with their full hierarchical
+// traces, exportable as Chrome trace events).
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"qmatch/internal/obs"
+)
+
+// ActiveRequest is the live record of one in-flight request, created by the
+// instrument middleware and visible in /debug/requests until the handler
+// returns. The phase cell is written by the Engine on every span start;
+// grafts accumulate finished engine traces for the request's stitched
+// trace.
+type ActiveRequest struct {
+	id        int64
+	route     string
+	method    string
+	remote    string
+	traceID   string
+	requestID string
+	start     time.Time
+	cell      *obs.PhaseCell
+
+	mu     sync.Mutex
+	grafts []traceGraft
+}
+
+// traceGraft is one finished engine trace waiting to be stitched under the
+// request span: the trace plus where its clock started on the request
+// timeline.
+type traceGraft struct {
+	mt       *obs.MatchTrace
+	offsetNs int64
+}
+
+// maxGraftsPerRequest bounds the traces kept per request: a /v1/matchall
+// grid runs one engine match per pair, and an unbounded request would
+// retain every one of them. The first grafts win (they cover the request's
+// ramp-up, which is what slow-request debugging looks at first).
+const maxGraftsPerRequest = 64
+
+// attach records one finished engine trace; offsetNs places the trace's
+// clock start on the request timeline. Safe for concurrent MatchAll
+// workers.
+func (ar *ActiveRequest) attach(mt *obs.MatchTrace, offsetNs int64) {
+	if ar == nil || mt == nil {
+		return
+	}
+	ar.mu.Lock()
+	if len(ar.grafts) < maxGraftsPerRequest {
+		ar.grafts = append(ar.grafts, traceGraft{mt: mt, offsetNs: offsetNs})
+	}
+	ar.mu.Unlock()
+}
+
+// lastEngineTrace returns the most recently attached engine trace (nil when
+// none ran) — what /v1/match?trace=1 exports.
+func (ar *ActiveRequest) lastEngineTrace() *obs.MatchTrace {
+	if ar == nil {
+		return nil
+	}
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	if len(ar.grafts) == 0 {
+		return nil
+	}
+	return ar.grafts[len(ar.grafts)-1].mt
+}
+
+// stitch grafts the accumulated engine traces under the request trace's
+// root span, producing the full hierarchical trace /debug/slow serves.
+func (ar *ActiveRequest) stitch(reqMT *obs.MatchTrace, rootSpanID int64) *obs.MatchTrace {
+	if ar == nil || reqMT == nil {
+		return reqMT
+	}
+	ar.mu.Lock()
+	grafts := ar.grafts
+	ar.grafts = nil
+	ar.mu.Unlock()
+	for _, g := range grafts {
+		reqMT.Graft(g.mt, rootSpanID, g.offsetNs)
+	}
+	return reqMT
+}
+
+// SlowRequest is one completed entry of the /debug/slow ring.
+type SlowRequest struct {
+	Route      string          `json:"route"`
+	Method     string          `json:"method"`
+	Status     int             `json:"status"`
+	TraceID    string          `json:"traceId"`
+	RequestID  string          `json:"requestId"`
+	Start      time.Time       `json:"start"`
+	DurationMs float64         `json:"durationMs"`
+	Trace      *obs.MatchTrace `json:"trace,omitempty"`
+}
+
+// requestTracker maintains the two debug tables: the in-flight request map
+// and the bounded ring of slowest completed requests (kept sorted by
+// duration, descending; admission evicts the fastest entry).
+type requestTracker struct {
+	mu     sync.Mutex
+	nextID int64
+	active map[int64]*ActiveRequest
+	slow   []SlowRequest
+	keep   int
+}
+
+func newRequestTracker(keep int) *requestTracker {
+	return &requestTracker{active: make(map[int64]*ActiveRequest), keep: keep}
+}
+
+func (t *requestTracker) start(route, method, remote, traceID, requestID string, cell *obs.PhaseCell) *ActiveRequest {
+	ar := &ActiveRequest{
+		route: route, method: method, remote: remote,
+		traceID: traceID, requestID: requestID,
+		start: time.Now(), cell: cell,
+	}
+	t.mu.Lock()
+	t.nextID++
+	ar.id = t.nextID
+	t.active[ar.id] = ar
+	t.mu.Unlock()
+	return ar
+}
+
+// finish retires an in-flight request and offers it to the slow ring.
+func (t *requestTracker) finish(ar *ActiveRequest, status int, elapsed time.Duration, trace *obs.MatchTrace) {
+	if ar == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.active, ar.id)
+	if t.keep <= 0 {
+		return
+	}
+	if len(t.slow) == t.keep && elapsed.Seconds()*1e3 <= t.slow[len(t.slow)-1].DurationMs {
+		return
+	}
+	entry := SlowRequest{
+		Route: ar.route, Method: ar.method, Status: status,
+		TraceID: ar.traceID, RequestID: ar.requestID,
+		Start: ar.start, DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
+		Trace: trace,
+	}
+	t.slow = append(t.slow, entry)
+	sort.SliceStable(t.slow, func(i, j int) bool {
+		return t.slow[i].DurationMs > t.slow[j].DurationMs
+	})
+	if len(t.slow) > t.keep {
+		t.slow = t.slow[:t.keep]
+	}
+}
+
+// inflightEntry is one row of the /debug/requests table.
+type inflightEntry struct {
+	ID        int64   `json:"id"`
+	Route     string  `json:"route"`
+	Method    string  `json:"method"`
+	Remote    string  `json:"remote"`
+	TraceID   string  `json:"traceId"`
+	RequestID string  `json:"requestId"`
+	AgeMs     float64 `json:"ageMs"`
+	Phase     string  `json:"phase,omitempty"`
+}
+
+func (t *requestTracker) inflight() []inflightEntry {
+	now := time.Now()
+	t.mu.Lock()
+	out := make([]inflightEntry, 0, len(t.active))
+	for _, ar := range t.active {
+		out = append(out, inflightEntry{
+			ID: ar.id, Route: ar.route, Method: ar.method, Remote: ar.remote,
+			TraceID: ar.traceID, RequestID: ar.requestID,
+			AgeMs: float64(now.Sub(ar.start).Nanoseconds()) / 1e6,
+			Phase: string(ar.cell.Get()),
+		})
+	}
+	t.mu.Unlock()
+	// Oldest first: the request most likely stuck tops the table.
+	sort.Slice(out, func(i, j int) bool { return out[i].AgeMs > out[j].AgeMs })
+	return out
+}
+
+func (t *requestTracker) slowSnapshot() []SlowRequest {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SlowRequest, len(t.slow))
+	copy(out, t.slow)
+	return out
+}
+
+// findSlow recalls one slow entry by trace ID.
+func (t *requestTracker) findSlow(traceID string) (SlowRequest, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.slow {
+		if e.TraceID == traceID {
+			return e, true
+		}
+	}
+	return SlowRequest{}, false
+}
+
+// DebugHandler builds the admin-plane handler qmatchd mounts on
+// -debug-addr:
+//
+//	/debug/pprof/...   the standard Go profiling endpoints
+//	/debug/vars        expvar (the Engine and HTTP metric registries are
+//	                   published as "qmatch" and "qmatchd")
+//	/debug/requests    the in-flight request table (age, route, trace ID,
+//	                   current pipeline phase)
+//	/debug/slow        the N slowest completed requests with full traces;
+//	                   ?id=<traceID> recalls one, &format=events exports
+//	                   its trace in the Chrome trace-event format
+func (s *Server) DebugHandler() http.Handler {
+	// expvar registrations are process-global and permanent; both Publish
+	// calls are idempotent so repeated Server construction (tests) is safe.
+	s.engine.PublishExpvar("qmatch")
+	s.reg.Publish("qmatchd")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/slow", s.handleDebugSlow)
+	return mux
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	writeDebugJSON(w, map[string]any{"requests": s.tracker.inflight()})
+}
+
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeDebugJSON(w, map[string]any{"slow": s.tracker.slowSnapshot()})
+		return
+	}
+	entry, ok := s.tracker.findSlow(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no slow-request entry for trace ID "+id)
+		return
+	}
+	if r.URL.Query().Get("format") == "events" {
+		if entry.Trace == nil {
+			writeError(w, http.StatusNotFound, "entry has no trace")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = entry.Trace.WriteTraceEvents(w)
+		return
+	}
+	writeDebugJSON(w, entry)
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -79,6 +79,10 @@ type Config struct {
 	// MaxSchemas bounds the registry; PUTs beyond it fail with 507
 	// until entries are deleted (default 4096).
 	MaxSchemas int
+	// SlowRequests bounds the /debug/slow ring of slowest completed
+	// requests kept with their full traces (default 32; negative
+	// disables the ring).
+	SlowRequests int
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSchemas < 1 {
 		c.MaxSchemas = 4096
 	}
+	if c.SlowRequests == 0 {
+		c.SlowRequests = 32
+	}
 	return c
 }
 
@@ -129,6 +136,7 @@ type Server struct {
 	inflight *obs.Gauge
 	builds   *obs.Counter
 	pooled   *obs.Gauge
+	tracker  *requestTracker // debug plane: in-flight + slow tables
 
 	draining atomic.Bool
 
@@ -146,11 +154,19 @@ type Server struct {
 // traces.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	// Every log line — access logs, Engine match summaries, registry
+	// lifecycle events — flows through the correlation handler, which
+	// stamps trace_id/request_id from the log call's context. Lines logged
+	// without a correlated context pass through unchanged.
+	if cfg.Logger != nil {
+		cfg.Logger = slog.New(obs.NewCorrelationHandler(cfg.Logger.Handler()))
+	}
 	s := &Server{
 		cfg:     cfg,
 		logger:  cfg.Logger,
 		engines: make(map[engineKey]*qmatch.Engine),
 		reg:     obs.NewRegistry(),
+		tracker: newRequestTracker(cfg.SlowRequests),
 	}
 	// WithRematchState makes the default Engine's compiled-path reports
 	// carry their pair tables, so registry re-PUTs refresh cached matches
@@ -176,6 +192,9 @@ func New(cfg Config) (*Server, error) {
 	s.pooled = s.reg.Gauge(MetricEnginesPooled)
 	s.limiter = newLimiter(cfg.MaxConcurrent, cfg.MaxQueue,
 		s.reg.Gauge(MetricQueueDepth), s.reg.Counter(MetricShed))
+	// Process vitals for the debug plane ride in the HTTP registry, so one
+	// /metrics scrape carries match, HTTP and runtime series.
+	obs.RegisterRuntimeGauges(s.reg, "qmatchd")
 	s.builds.Inc()
 	return s, nil
 }
@@ -262,26 +281,77 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// activeRequestKey carries the request's debug-plane record through
+// context so handlers (the ?trace=1 export) can reach it.
+type activeRequestKey struct{}
+
+func activeRequest(ctx context.Context) *ActiveRequest {
+	ar, _ := ctx.Value(activeRequestKey{}).(*ActiveRequest)
+	return ar
+}
+
 // instrument wraps a route handler with the request body cap, in-flight
-// gauge, per-route duration histogram, per-route/status counter and the
-// structured access log.
+// gauge, per-route duration histogram, per-route/status counter, the
+// structured access log, and the correlation layer: the W3C traceparent of
+// the request (generated when the client sent none) becomes the trace ID
+// echoed in X-Request-Id, stamped on every log line, threaded through
+// context into the Engine, and attached to the request-level trace whose
+// stitched form /debug/slow serves.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	dur := s.reg.Histogram(obs.LabeledName(MetricHTTPDuration, "route", route), nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
+		// Correlation: adopt the client's trace ID when the traceparent is
+		// well-formed, mint one otherwise. The request ID identifies this
+		// hop alone and doubles as the server's span ID in the traceparent
+		// echoed to the client.
+		traceID, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID = obs.NewTraceID()
+		}
+		requestID := obs.NewSpanID()
+		w.Header().Set("X-Request-Id", traceID)
+		w.Header().Set("traceparent", obs.FormatTraceparent(traceID, requestID))
+
+		// The request-level trace: a "request" root span that engine match
+		// traces are grafted under (via the context trace sink), plus the
+		// queue-wait span limited() adds. The per-request cost is a few
+		// small allocations; match work dominates every route where it
+		// matters.
+		reqTrace := obs.NewTrace()
+		reqTrace.SetID(traceID)
+		cell := &obs.PhaseCell{}
+		reqTrace.SetPhaseCell(cell)
+		reqSpan := reqTrace.StartSpan(obs.PhaseRequest)
+		reqTrace.SetParent(reqSpan)
+		ar := s.tracker.start(route, r.Method, r.RemoteAddr, traceID, requestID, cell)
+
+		ctx := obs.ContextWithIDs(r.Context(), traceID, requestID)
+		ctx = obs.ContextWithPhaseCell(ctx, cell)
+		ctx = obs.ContextWithTrace(ctx, reqTrace)
+		ctx = obs.ContextWithTraceSink(ctx, func(mt *obs.MatchTrace) {
+			// Place the engine trace on the request timeline: its clock
+			// started TotalNs before this sink call.
+			ar.attach(mt, reqTrace.SinceStartNs()-mt.TotalNs)
+		})
+		ctx = context.WithValue(ctx, activeRequestKey{}, ar)
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.inflight.Add(1)
 		start := time.Now()
 		h(sw, r)
 		elapsed := time.Since(start)
 		s.inflight.Add(-1)
+		reqSpan.End()
+		s.tracker.finish(ar, sw.status, elapsed, ar.stitch(reqTrace.Finish(), reqSpan.ID()))
 		dur.Observe(elapsed.Seconds())
 		s.reg.Counter(obs.LabeledName(MetricHTTPRequests,
 			"route", route, "code", strconv.Itoa(sw.status))).Inc()
 		if s.logger != nil {
-			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
 				slog.String("route", route),
 				slog.String("method", r.Method),
 				slog.Int("status", sw.status),
@@ -313,7 +383,13 @@ func (s *Server) limited(w http.ResponseWriter, r *http.Request, timeoutMs int64
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMs))
 	defer cancel()
-	if err := s.limiter.acquire(ctx); err != nil {
+	// The admission wait gets its own span on the request trace, so a
+	// /debug/slow entry distinguishes "queued behind other matches" from
+	// "the match itself was slow".
+	qs := obs.TraceFromContext(ctx).StartSpan(obs.PhaseQueue)
+	err := s.limiter.acquire(ctx)
+	qs.End()
+	if err != nil {
 		if errors.Is(err, ErrSaturated) {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "match capacity saturated, retry later")
@@ -349,10 +425,24 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// ?trace=1 switches the response to the Chrome trace-event export of
+	// the match's pipeline trace (loadable in Perfetto) instead of the
+	// Report body — the service-side equivalent of qmatch -trace-out.
+	wantEvents := r.URL.Query().Get("trace") == "1"
 	s.limited(w, r, req.TimeoutMs, func(ctx context.Context) {
 		report, err := eng.MatchContext(ctx, src, tgt)
 		if err != nil {
 			s.writeDeadline(w, report, err)
+			return
+		}
+		if wantEvents {
+			if mt := activeRequest(ctx).lastEngineTrace(); mt != nil {
+				w.Header().Set("Content-Type", "application/json")
+				_ = mt.WriteTraceEvents(w)
+				return
+			}
+			writeError(w, http.StatusUnprocessableEntity,
+				"no trace recorded: the engine has observability disabled")
 			return
 		}
 		// Serve the report through the library serializer so the body

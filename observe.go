@@ -29,6 +29,14 @@ func phaseMetric(p obs.Phase) string {
 	return `qmatch_phase_ns_total{phase="` + string(p) + `"}`
 }
 
+// phaseDurationMetric names the per-phase latency histogram
+// (qmatch_phase_duration_seconds{phase="..."}): where the wall-time
+// counter reports each phase's aggregate share, the histogram keeps the
+// distribution, so tail latency per phase is visible.
+func phaseDurationMetric(p obs.Phase) string {
+	return `qmatch_phase_duration_seconds{phase="` + string(p) + `"}`
+}
+
 // TraceSpan is one phase of a match pipeline trace (paper Fig. 3): parse,
 // intern (vocabulary interning into the similarity kernel), pairtable (the
 // QoM pair-table fill) and select (correspondence selection). Counts are
@@ -37,8 +45,16 @@ func phaseMetric(p obs.Phase) string {
 // tree nodes and filled table cells, the select span counts candidate
 // pairs (Cells) and accepted correspondences (Selected). Partial marks a
 // phase cut short by cancellation; its counts cover the work done so far.
+//
+// Spans form a hierarchy: ID numbers spans in start order from 1, and
+// ParentID links a child to its enclosing span (0 marks a root). A match
+// run is rooted at a "match" span whose children are the pipeline phases;
+// the pairtable span additionally has one "level" child per fill stratum
+// (Level carries the 1-based stratum index).
 type TraceSpan struct {
 	Phase      string `json:"phase"`
+	ID         int64  `json:"id,omitempty"`
+	ParentID   int64  `json:"parentId,omitempty"`
 	StartNs    int64  `json:"startNs"`
 	DurationNs int64  `json:"durationNs"`
 	SrcNodes   int    `json:"srcNodes,omitempty"`
@@ -46,6 +62,7 @@ type TraceSpan struct {
 	Cells      int64  `json:"cells,omitempty"`
 	Workers    int    `json:"workers,omitempty"`
 	Selected   int    `json:"selected,omitempty"`
+	Level      int    `json:"level,omitempty"`
 	Partial    bool   `json:"partial,omitempty"`
 }
 
@@ -53,7 +70,10 @@ type TraceSpan struct {
 // Observer.Tracing attaches to every Report: total wall time and the phase
 // spans in start order. The JSON tags define a stable wire format; the
 // qmatch CLI's -trace flag prints Format's human-readable breakdown.
+// TraceID carries the W3C trace ID the run was correlated under (empty for
+// uncorrelated library calls).
 type MatchTrace struct {
+	TraceID string      `json:"traceId,omitempty"`
 	TotalNs int64       `json:"totalNs"`
 	Spans   []TraceSpan `json:"spans"`
 }
@@ -69,14 +89,23 @@ func (t *MatchTrace) Format() string {
 	return t.inner().Format()
 }
 
+// WriteTraceEvents writes the trace in the Chrome trace-event JSON array
+// format (loadable in Perfetto or chrome://tracing): one complete event per
+// span, nested by time containment, with phase counts as event args. The
+// qmatch CLI's -trace-out flag and qmatchd's /v1/match?trace=1 use this.
+func (t *MatchTrace) WriteTraceEvents(w io.Writer) error {
+	return t.inner().WriteTraceEvents(w)
+}
+
 // inner converts back to the internal representation the formatters use.
 func (t *MatchTrace) inner() *obs.MatchTrace {
-	mt := &obs.MatchTrace{TotalNs: t.TotalNs, Spans: make([]obs.Span, len(t.Spans))}
+	mt := &obs.MatchTrace{TraceID: t.TraceID, TotalNs: t.TotalNs, Spans: make([]obs.Span, len(t.Spans))}
 	for i, s := range t.Spans {
 		mt.Spans[i] = obs.Span{
-			Phase: obs.Phase(s.Phase), StartNs: s.StartNs, DurationNs: s.DurationNs,
+			Phase: obs.Phase(s.Phase), ID: s.ID, ParentID: s.ParentID,
+			StartNs: s.StartNs, DurationNs: s.DurationNs,
 			SrcNodes: s.SrcNodes, TgtNodes: s.TgtNodes, Cells: s.Cells,
-			Workers: s.Workers, Selected: s.Selected, Partial: s.Partial,
+			Workers: s.Workers, Selected: s.Selected, Level: s.Level, Partial: s.Partial,
 		}
 	}
 	return mt
@@ -87,12 +116,13 @@ func publicMatchTrace(mt *obs.MatchTrace) *MatchTrace {
 	if mt == nil {
 		return nil
 	}
-	t := &MatchTrace{TotalNs: mt.TotalNs, Spans: make([]TraceSpan, len(mt.Spans))}
+	t := &MatchTrace{TraceID: mt.TraceID, TotalNs: mt.TotalNs, Spans: make([]TraceSpan, len(mt.Spans))}
 	for i, s := range mt.Spans {
 		t.Spans[i] = TraceSpan{
-			Phase: string(s.Phase), StartNs: s.StartNs, DurationNs: s.DurationNs,
+			Phase: string(s.Phase), ID: s.ID, ParentID: s.ParentID,
+			StartNs: s.StartNs, DurationNs: s.DurationNs,
 			SrcNodes: s.SrcNodes, TgtNodes: s.TgtNodes, Cells: s.Cells,
-			Workers: s.Workers, Selected: s.Selected, Partial: s.Partial,
+			Workers: s.Workers, Selected: s.Selected, Level: s.Level, Partial: s.Partial,
 		}
 	}
 	return t

@@ -1,6 +1,7 @@
 package qmatch
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -111,7 +112,7 @@ func (e *Engine) Rematch(prev *Report, old, new *CompiledSchema) (*Report, error
 	// Seed the matcher's memo with the rematched table: the selection pass
 	// in run() finds it and never refills.
 	h.Adopt(r)
-	rep := e.run(h, srcCS.schema, tgtCS.schema)
+	rep := e.run(context.Background(), h, srcCS.schema, tgtCS.schema)
 	side := "source"
 	if target {
 		side = "target"
