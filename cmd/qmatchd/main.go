@@ -19,6 +19,12 @@
 //	GET    /v1/schemas      list the registry
 //	POST   /v1/search       rank the registered corpus against a query
 //	                        schema (top-K prefilter + full QoM)
+//	POST   /v1/jobs         submit an async batch-match job (sharded
+//	                        MatchAll over inline or registered schemas)
+//	GET    /v1/jobs         list retained jobs
+//	GET    /v1/jobs/{id}    poll job progress (?shards=1, ?trace=1)
+//	GET    /v1/jobs/{id}/results  stream completed cells as NDJSON (?after=N)
+//	DELETE /v1/jobs/{id}    cancel an active job / forget a finished one
 //	GET    /healthz         liveness (503 while draining)
 //	GET    /metrics         Prometheus text: Engine match metrics + HTTP metrics
 //
@@ -45,6 +51,17 @@
 //	                                          /debug/slow (slowest requests with traces);
 //	                                          keep it loopback-only (default: disabled)
 //	-slow-requests N                          /debug/slow ring size (default 32)
+//	-max-jobs N                               completed async jobs retained for
+//	                                          polling (default 64, LRU-evicted)
+//	-job-workers N                            async job shard workers
+//	                                          (default max(1, max-concurrent/2))
+//	-job-shard-cost N                         pair-table cost budget of one job
+//	                                          shard in srcNodes×tgtNodes units
+//	                                          (default 1048576)
+//	-job-retries N                            re-dispatches of one failed shard
+//	                                          before the job fails (default 3)
+//	-max-job-cells N                          per-job source×target grid cap
+//	                                          (default 65536)
 //	-drain DUR                                shutdown drain budget (default 15s)
 //	-log text|json                            access/lifecycle log format (default text)
 //	-quiet                                    disable logging
@@ -107,6 +124,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxSchemas := fs.Int("max-schemas", 0, "registry capacity (0 = default 4096)")
 	debugAddr := fs.String("debug-addr", "", "listen address of the admin debug plane (pprof, expvar, /debug/requests, /debug/slow); empty disables it")
 	slowRequests := fs.Int("slow-requests", 0, "slowest completed requests kept with full traces for /debug/slow (0 = default 32, negative disables)")
+	maxJobs := fs.Int("max-jobs", 0, "completed async jobs retained for polling (0 = default 64)")
+	jobWorkers := fs.Int("job-workers", 0, "async job shard workers (0 = half of max-concurrent)")
+	jobShardCost := fs.Int64("job-shard-cost", 0, "pair-table cost budget of one job shard (0 = default 1048576)")
+	jobRetries := fs.Int("job-retries", 0, "re-dispatches of one failed job shard (0 = default 3)")
+	maxJobCells := fs.Int("max-job-cells", 0, "per-job source x target grid cap (0 = default 65536)")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown drain budget")
 	logFormat := fs.String("log", "text", "log format: text or json")
 	quiet := fs.Bool("quiet", false, "disable logging")
@@ -137,10 +159,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RegistryDir:    *registryDir,
 		MaxSchemas:     *maxSchemas,
 		SlowRequests:   *slowRequests,
+		MaxJobs:        *maxJobs,
+		JobWorkers:     *jobWorkers,
+		JobShardCost:   *jobShardCost,
+		JobRetries:     *jobRetries,
+		MaxJobCells:    *maxJobCells,
 	})
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,126 @@
+package qmatch_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The documentation set whose intra-repo links must resolve. CI runs
+// this test as the docs-link gate: a renamed file, a dropped heading or
+// a typo'd anchor in any of these files fails the build.
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"API.md",
+	"OPERATIONS.md",
+	"EXPERIMENTS.md",
+}
+
+var markdownLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+var markdownHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// githubSlug reduces a heading to GitHub's auto-generated anchor id:
+// lowercase, punctuation stripped, spaces hyphenated.
+func githubSlug(heading string) string {
+	heading = strings.ReplaceAll(heading, "`", "")
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+func headingSlugs(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	slugs := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := markdownHeading.FindStringSubmatch(line); m != nil {
+			slug := githubSlug(m[1])
+			// GitHub dedupes repeats as slug-1, slug-2, ...
+			if slugs[slug] {
+				for i := 1; ; i++ {
+					next := fmt.Sprintf("%s-%d", slug, i)
+					if !slugs[next] {
+						slugs[next] = true
+						break
+					}
+				}
+			}
+			slugs[slug] = true
+		}
+	}
+	return slugs
+}
+
+// TestDocLinksResolve walks every markdown link in the documentation set
+// and asserts that relative targets exist on disk and that #anchors name
+// a real heading in the target file.
+func TestDocLinksResolve(t *testing.T) {
+	slugCache := map[string]map[string]bool{}
+	slugsOf := func(path string) map[string]bool {
+		if s, ok := slugCache[path]; ok {
+			return s
+		}
+		s := headingSlugs(t, path)
+		slugCache[path] = s
+		return s
+	}
+
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			if path == "" {
+				path = doc // same-file anchor
+			}
+			if strings.HasPrefix(path, "/") {
+				t.Errorf("%s: link %q is absolute; use a repo-relative path", doc, target)
+				continue
+			}
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Errorf("%s: link %q: target does not exist", doc, target)
+				continue
+			}
+			if anchor == "" {
+				continue
+			}
+			if info.IsDir() || !strings.HasSuffix(path, ".md") {
+				t.Errorf("%s: link %q: #anchor on a non-markdown target", doc, target)
+				continue
+			}
+			if !slugsOf(path)[anchor] {
+				t.Errorf("%s: link %q: no heading in %s slugs to %q", doc, target, path, anchor)
+			}
+		}
+	}
+}

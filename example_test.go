@@ -119,6 +119,39 @@ func ExampleNewTranslator() {
 	// true
 }
 
+func ExampleEngine_Rematch() {
+	// An Engine built WithRematchState retains the pair table of each
+	// compiled-path match, so when one schema evolves the new pair is
+	// re-matched incrementally: unchanged subtrees are copied, only
+	// dirty nodes are rescored.
+	eng, _ := qmatch.NewEngine(qmatch.WithRematchState())
+	src, _ := qmatch.ParseSchemaString(exampleSource)
+	tgt, _ := qmatch.ParseSchemaString(exampleTarget)
+	csrc, _ := eng.Compile(src)
+	ctgt, _ := eng.Compile(tgt)
+	prev := eng.MatchCompiled(csrc, ctgt)
+
+	// The target evolves: one leaf is renamed, the rest is untouched.
+	evolved, _ := qmatch.ParseSchemaString(
+		strings.Replace(exampleTarget, `name="Qty"`, `name="Quantity"`, 1))
+	cevolved, _ := eng.Compile(evolved)
+
+	rep, _ := eng.Rematch(prev, ctgt, cevolved)
+	st := rep.Rematch
+	fmt.Printf("%s side: %d dirty, %d clean nodes\n", st.Side, st.DirtyNodes, st.CleanNodes)
+	fmt.Printf("cells: %d copied, %d rescored\n", st.CopiedCells, st.RescoredCells)
+	for _, c := range rep.Correspondences {
+		fmt.Println(c)
+	}
+	// Output:
+	// target side: 2 dirty, 2 clean nodes
+	// cells: 8 copied, 8 rescored
+	// PO/OrderNo -> PurchaseOrder/OrderNo (1.00)
+	// PO/Quantity -> PurchaseOrder/Quantity (1.00)
+	// PO/PurchaseDate -> PurchaseOrder/Date (0.96)
+	// PO -> PurchaseOrder (0.95)
+}
+
 func ExampleInferSchemaString() {
 	s, _ := qmatch.InferSchemaString(`<Order><Id>7</Id><Total>9.99</Total></Order>`)
 	fmt.Println(s.Dump())

@@ -1,0 +1,214 @@
+// Package jobs implements the asynchronous batch-match subsystem behind
+// qmatchd's /v1/jobs endpoints: a coordinator that partitions a large
+// sources×targets MatchAll grid into shards sized off the compiled
+// schemas' node counts, a worker pool that runs shards through the
+// existing Engine (behind the Executor interface, so a remote qmatchd
+// cluster can replace the in-process pool later), and a bounded job store
+// that clients poll for per-shard progress and stream completed cells
+// from, resumable by cell cursor.
+//
+// A submitted job owns a context derived from the manager's lifetime;
+// cancelling the job (DELETE /v1/jobs/{id}) cancels that context and the
+// existing Engine cancellation plumbing stops in-flight pair-table fills
+// between levels. Shards survive worker loss: every dispatch takes a
+// lease, and a reaper re-queues shards whose lease expired without an
+// acknowledgement; failed attempts retry with exponential backoff up to a
+// bound before the whole job fails. Completed jobs are retained for
+// polling until the store's LRU bound evicts them.
+//
+// Results are pinned to the synchronous path: each cell's report is
+// serialized with encoding/json exactly as Engine.MatchAll reports are,
+// so a streamed job result is byte-identical (per report, modulo the
+// envelope) to the same cell of a synchronous /v1/matchall response.
+// See DESIGN.md §12.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"qmatch"
+)
+
+// Status is the lifecycle state of a job. Transitions are monotonic:
+// pending → running → one of the three terminal states.
+type Status string
+
+const (
+	// StatusPending marks a job accepted but with no shard dispatched yet.
+	StatusPending Status = "pending"
+	// StatusRunning marks a job with at least one shard dispatched.
+	StatusRunning Status = "running"
+	// StatusCompleted marks a job whose every cell has a result.
+	StatusCompleted Status = "completed"
+	// StatusFailed marks a job aborted because a shard exhausted its
+	// retries; Progress.Error carries the last attempt's error.
+	StatusFailed Status = "failed"
+	// StatusCancelled marks a job aborted by Cancel (or manager shutdown).
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusCompleted || s == StatusFailed || s == StatusCancelled
+}
+
+// ShardStatus is the lifecycle state of one shard of a job's grid.
+type ShardStatus string
+
+const (
+	// ShardPending marks a shard queued (or re-queued) for dispatch.
+	ShardPending ShardStatus = "pending"
+	// ShardRunning marks a shard leased to a worker.
+	ShardRunning ShardStatus = "running"
+	// ShardDone marks a shard whose results were acknowledged.
+	ShardDone ShardStatus = "done"
+	// ShardFailed marks a shard that exhausted its retries.
+	ShardFailed ShardStatus = "failed"
+)
+
+// Shard is one contiguous row-major range of the job's cell grid. Cell k
+// of a job with T targets matches sources[k/T] against targets[k%T];
+// a shard covers cells [Start, End).
+type Shard struct {
+	// Index is the shard's position in the job's shard list.
+	Index int `json:"index"`
+	// Start is the first cell index the shard covers.
+	Start int `json:"start"`
+	// End is one past the last cell index the shard covers.
+	End int `json:"end"`
+	// Cost is the shard's pair-table cost: the sum over its cells of
+	// sourceNodes×targetNodes — what the partitioner balanced.
+	Cost int64 `json:"cost"`
+}
+
+// Cells returns the number of cells the shard covers.
+func (s Shard) Cells() int { return s.End - s.Start }
+
+// Spec describes one job to Submit: the compiled grid sides and the
+// engine to run them through (nil selects the manager's default). The
+// schemas are compiled — the parse+intern work happened at submission
+// (or registration) time, so shards go straight to the pair-table fill.
+type Spec struct {
+	Sources []*qmatch.CompiledSchema
+	Targets []*qmatch.CompiledSchema
+	// Engine overrides the manager's default Engine for this job
+	// (per-request algorithm/threshold/weight overrides resolve to a
+	// pooled Engine in the serving layer).
+	Engine *qmatch.Engine
+	// SourceIDs/TargetIDs are optional display names, aligned with
+	// Sources/Targets (registry ids, file names); purely informational.
+	SourceIDs []string
+	TargetIDs []string
+}
+
+// Executor runs one shard of one job and returns one serialized Report
+// per cell, aligned with the shard's cell order (cell Start first). The
+// in-process implementation matches through the job's Engine; a cluster
+// executor would ship the shard's artifact ids to a remote worker
+// instead. Execute must honor ctx: a cancelled job's context aborts
+// in-flight fills. An error (or panic — the worker recovers it) marks
+// the attempt failed and the shard is retried with backoff.
+type Executor interface {
+	Execute(ctx context.Context, spec *Spec, shard Shard) ([]json.RawMessage, error)
+}
+
+// EngineExecutor is the in-process Executor: every cell of the shard runs
+// through Engine.MatchCompiledContext on the calling worker goroutine,
+// and the report is serialized compactly with encoding/json — the same
+// serialization a synchronous MatchAll response embeds.
+type EngineExecutor struct {
+	// Engine matches shards whose job carries no override Engine.
+	Engine *qmatch.Engine
+}
+
+// Execute implements Executor.
+func (ex EngineExecutor) Execute(ctx context.Context, spec *Spec, shard Shard) ([]json.RawMessage, error) {
+	eng := spec.Engine
+	if eng == nil {
+		eng = ex.Engine
+	}
+	nt := len(spec.Targets)
+	out := make([]json.RawMessage, 0, shard.Cells())
+	for k := shard.Start; k < shard.End; k++ {
+		rep, err := eng.MatchCompiledContext(ctx, spec.Sources[k/nt], spec.Targets[k%nt])
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, raw)
+	}
+	return out, nil
+}
+
+// Partition splits the sources×targets grid into contiguous row-major
+// shards, packing cells until a shard's cost (sum of sourceNodes×
+// targetNodes per cell) would exceed budget. Every shard holds at least
+// one cell, so a single cell dearer than the budget still gets its own
+// shard. A budget <= 0 yields one shard for the whole grid.
+func Partition(sources, targets []*qmatch.CompiledSchema, budget int64) []Shard {
+	nt := len(targets)
+	total := len(sources) * nt
+	if total == 0 {
+		return nil
+	}
+	if budget <= 0 {
+		var cost int64
+		for k := 0; k < total; k++ {
+			cost += int64(sources[k/nt].Size()) * int64(targets[k%nt].Size())
+		}
+		return []Shard{{Index: 0, Start: 0, End: total, Cost: cost}}
+	}
+	var shards []Shard
+	start := 0
+	var cost int64
+	for k := 0; k < total; k++ {
+		c := int64(sources[k/nt].Size()) * int64(targets[k%nt].Size())
+		if k > start && cost+c > budget {
+			shards = append(shards, Shard{Index: len(shards), Start: start, End: k, Cost: cost})
+			start, cost = k, 0
+		}
+		cost += c
+	}
+	return append(shards, Shard{Index: len(shards), Start: start, End: total, Cost: cost})
+}
+
+// ShardProgress is the externally visible state of one shard, as reported
+// by Progress.
+type ShardProgress struct {
+	Shard
+	Status ShardStatus `json:"status"`
+	// Attempts counts dispatches of this shard (1 on the happy path).
+	Attempts int `json:"attempts"`
+}
+
+// Progress is a point-in-time snapshot of one job, safe to serialize.
+type Progress struct {
+	ID      string    `json:"id"`
+	Status  Status    `json:"status"`
+	Error   string    `json:"error,omitempty"`
+	Created time.Time `json:"created"`
+	// Started/Finished are nil until the job starts running / reaches a
+	// terminal state.
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Sources/Targets are the grid dimensions; Cells = Sources×Targets.
+	Sources int `json:"sources"`
+	Targets int `json:"targets"`
+	Cells   int `json:"cells"`
+	// CompletedCells counts cells with an acknowledged result.
+	CompletedCells int `json:"completedCells"`
+	// ShardsTotal/ShardsDone/Retries summarize shard progress; Shards
+	// carries the per-shard detail when requested.
+	ShardsTotal int             `json:"shardsTotal"`
+	ShardsDone  int             `json:"shardsDone"`
+	Retries     int             `json:"retries"`
+	Shards      []ShardProgress `json:"shards,omitempty"`
+	// SourceIDs/TargetIDs echo the submission's display names, when given.
+	SourceIDs []string `json:"sourceIds,omitempty"`
+	TargetIDs []string `json:"targetIds,omitempty"`
+}

@@ -192,10 +192,13 @@ func NewCorrelationHandler(inner slog.Handler) *CorrelationHandler {
 	return &CorrelationHandler{inner: inner}
 }
 
+// Enabled defers to the wrapped handler.
 func (h *CorrelationHandler) Enabled(ctx context.Context, level slog.Level) bool {
 	return h.inner.Enabled(ctx, level)
 }
 
+// Handle clones the record and appends trace_id/request_id attributes
+// when the context carries correlation IDs, then delegates.
 func (h *CorrelationHandler) Handle(ctx context.Context, rec slog.Record) error {
 	if traceID, requestID := IDsFromContext(ctx); traceID != "" || requestID != "" {
 		rec = rec.Clone()
@@ -209,10 +212,12 @@ func (h *CorrelationHandler) Handle(ctx context.Context, rec slog.Record) error 
 	return h.inner.Handle(ctx, rec)
 }
 
+// WithAttrs wraps the derived inner handler, preserving injection.
 func (h *CorrelationHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
 	return &CorrelationHandler{inner: h.inner.WithAttrs(attrs)}
 }
 
+// WithGroup wraps the derived inner handler, preserving injection.
 func (h *CorrelationHandler) WithGroup(name string) slog.Handler {
 	return &CorrelationHandler{inner: h.inner.WithGroup(name)}
 }

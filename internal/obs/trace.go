@@ -21,7 +21,11 @@ import (
 // parents in a hierarchical trace: "request" (one HTTP request end to end),
 // "queue" (the wait for an admission slot), "match" (one engine match,
 // parent of the pipeline phases) and "level" (one height level of a
-// parallel pair-table fill, child of "pairtable").
+// parallel pair-table fill, child of "pairtable"). The async job subsystem
+// adds "job" (one submitted MatchAll job end to end) and "shard" (one
+// dispatched attempt at a shard of the job's pair grid, child of "job" —
+// a retried shard contributes one span per attempt, failed attempts marked
+// partial).
 type Phase string
 
 const (
@@ -36,6 +40,8 @@ const (
 	PhaseQueue     Phase = "queue"
 	PhaseMatch     Phase = "match"
 	PhaseLevel     Phase = "level"
+	PhaseJob       Phase = "job"
+	PhaseShard     Phase = "shard"
 )
 
 // Span is one finished phase of a match trace. ID and ParentID encode the

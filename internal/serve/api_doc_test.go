@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// apiDocHeadings extracts the "### `METHOD /pattern`" endpoint headings
+// from API.md — the contract the doc-coverage test pins.
+var apiDocHeading = regexp.MustCompile("(?m)^### `([A-Z]+) (/[^`]+)`")
+
+// TestAPIDocCoversRouteTable keeps API.md and the route table in
+// lockstep, both directions: every served route must have a heading, and
+// every documented service endpoint must exist in the route table (so
+// renames and removals can't leave stale docs behind). The debug plane
+// is not in routes(); its endpoints are pinned explicitly.
+func TestAPIDocCoversRouteTable(t *testing.T) {
+	data, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("API.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range apiDocHeading.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("API.md has no `### `METHOD /pattern`` endpoint headings")
+	}
+
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	served := map[string]bool{}
+	for _, rt := range s.routes() {
+		key := rt.method + " " + rt.pattern
+		served[key] = true
+		if !documented[key] {
+			t.Errorf("API.md is missing a heading for route %q (name %s)", key, rt.name)
+		}
+	}
+
+	debugEndpoints := []string{
+		"GET /debug/pprof/",
+		"GET /debug/vars",
+		"GET /debug/requests",
+		"GET /debug/slow",
+	}
+	for _, d := range debugEndpoints {
+		if !documented[d] {
+			t.Errorf("API.md is missing a heading for debug endpoint %q", d)
+		}
+	}
+
+	debugSet := map[string]bool{}
+	for _, d := range debugEndpoints {
+		debugSet[d] = true
+	}
+	for key := range documented {
+		if strings.HasPrefix(strings.SplitN(key, " ", 2)[1], "/debug/") {
+			if !debugSet[key] {
+				t.Errorf("API.md documents unknown debug endpoint %q", key)
+			}
+			continue
+		}
+		if !served[key] {
+			t.Errorf("API.md documents %q, which is not in the route table", key)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"qmatch/internal/serve"
+)
+
+// ExampleServer_asyncJobs submits an async matching job over HTTP and
+// polls it to completion — the programmatic equivalent of
+// `qjobs submit -wait`.
+func ExampleServer_asyncJobs() {
+	s, _ := serve.New(serve.Config{JobWorkers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	schema := func(name string) map[string]any {
+		return map[string]any{"schema": map[string]any{"data": fmt.Sprintf(
+			`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+			   <xs:element name="%s">
+			     <xs:complexType><xs:sequence>
+			       <xs:element name="OrderNo" type="xs:integer"/>
+			     </xs:sequence></xs:complexType>
+			   </xs:element>
+			 </xs:schema>`, name)}}
+	}
+
+	// Submit a 1×2 grid; the server answers 202 with the job's initial
+	// progress snapshot.
+	body, _ := json.Marshal(map[string]any{
+		"sources": []any{schema("PO")},
+		"targets": []any{schema("PurchaseOrder"), schema("Invoice")},
+	})
+	resp, _ := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	var job struct {
+		ID    string `json:"id"`
+		Cells int    `json:"cells"`
+	}
+	json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	fmt.Printf("submitted %d cells: %d\n", job.Cells, resp.StatusCode)
+
+	// Poll until the job reaches a terminal state.
+	var progress struct {
+		Status         string `json:"status"`
+		CompletedCells int    `json:"completedCells"`
+	}
+	for {
+		resp, _ := http.Get(ts.URL + "/v1/jobs/" + job.ID)
+		json.NewDecoder(resp.Body).Decode(&progress)
+		resp.Body.Close()
+		if progress.Status != "pending" && progress.Status != "running" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("%s %d/%d\n", progress.Status, progress.CompletedCells, job.Cells)
+	// Output:
+	// submitted 2 cells: 202
+	// completed 2/2
+}

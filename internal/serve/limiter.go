@@ -68,4 +68,19 @@ func (l *limiter) acquire(ctx context.Context) error {
 	}
 }
 
+// wait takes a slot without the shed bound: the caller queues
+// indefinitely until a slot frees or ctx is cancelled. Async job shards
+// use this path — no client connection is held open while they wait, so
+// shedding them buys nothing, and blocking keeps background work from
+// ever starving interactive requests of slots. Every nil return must be
+// paired with a release.
+func (l *limiter) wait(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (l *limiter) release() { <-l.sem }

@@ -256,6 +256,11 @@ func TestRouteTableCoversRegistry(t *testing.T) {
 		"POST /v1/match":                      "match",
 		"POST /v1/matchall":                   "matchall",
 		"POST /v1/rank":                       "rank",
+		"POST /v1/jobs":                       "job_submit",
+		"GET /v1/jobs":                        "job_list",
+		"GET /v1/jobs/{id}":                   "job_status",
+		"GET /v1/jobs/{id}/results":           "job_results",
+		"DELETE /v1/jobs/{id}":                "job_cancel",
 		"GET /healthz":                        "healthz",
 		"GET /metrics":                        "metrics",
 	}

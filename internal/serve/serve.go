@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"qmatch"
+	"qmatch/internal/jobs"
 	"qmatch/internal/obs"
 	"qmatch/internal/registry"
 )
@@ -83,6 +84,22 @@ type Config struct {
 	// requests kept with their full traces (default 32; negative
 	// disables the ring).
 	SlowRequests int
+	// MaxJobs bounds terminal async jobs retained for polling; beyond it
+	// the least-recently-polled completed job is evicted (default 64).
+	MaxJobs int
+	// JobWorkers bounds the async job shard workers (default
+	// max(1, MaxConcurrent/2) — jobs are background work and must not
+	// monopolize the admission slots interactive requests share).
+	JobWorkers int
+	// JobShardCost is the pair-table cost budget of one job shard, in
+	// sourceNodes×targetNodes units (default 1<<20).
+	JobShardCost int64
+	// JobRetries bounds re-dispatches of one failed shard (default 3).
+	JobRetries int
+	// MaxJobCells caps the source×target grid of one submitted job
+	// (default 65536). Oversized submissions fail with 400 — the
+	// synchronous MaxPairs cap does not apply to jobs.
+	MaxJobCells int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +130,21 @@ func (c Config) withDefaults() Config {
 	if c.SlowRequests == 0 {
 		c.SlowRequests = 32
 	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 64
+	}
+	if c.JobWorkers < 1 {
+		c.JobWorkers = c.MaxConcurrent / 2
+		if c.JobWorkers < 1 {
+			c.JobWorkers = 1
+		}
+	}
+	if c.JobShardCost == 0 {
+		c.JobShardCost = 1 << 20
+	}
+	if c.MaxJobCells < 1 {
+		c.MaxJobCells = 65536
+	}
 	return c
 }
 
@@ -127,6 +159,7 @@ type Server struct {
 
 	engine   *qmatch.Engine // default engine; owns qmatch_* metrics
 	registry *registry.Registry
+	jobs     *jobs.Manager
 
 	mu      sync.Mutex
 	engines map[engineKey]*qmatch.Engine
@@ -196,8 +229,36 @@ func New(cfg Config) (*Server, error) {
 	// /metrics scrape carries match, HTTP and runtime series.
 	obs.RegisterRuntimeGauges(s.reg, "qmatchd")
 	s.builds.Inc()
+	// The async job coordinator shares the admission limiter: every shard
+	// attempt waits for a match slot (without the shed bound — no client
+	// connection is held open), so background jobs and interactive
+	// requests draw from one concurrency budget.
+	s.jobs = jobs.New(jobs.Config{
+		Engine:     s.engine,
+		Workers:    cfg.JobWorkers,
+		ShardCost:  cfg.JobShardCost,
+		MaxRetries: cfg.JobRetries,
+		MaxJobs:    cfg.MaxJobs,
+		Gate: func(ctx context.Context) (func(), error) {
+			if err := s.limiter.wait(ctx); err != nil {
+				return nil, err
+			}
+			return s.limiter.release, nil
+		},
+		Metrics: s.reg,
+		Logger:  cfg.Logger,
+	})
 	return s, nil
 }
+
+// Jobs returns the server's async job coordinator (tests inject shard
+// faults through it).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close releases the server's background resources: the job coordinator's
+// workers stop and every active job is cancelled. Call it after the HTTP
+// server has shut down; a Server is not usable afterwards.
+func (s *Server) Close() { s.jobs.Close() }
 
 // Engine returns the server's default Engine (the one /metrics scrapes).
 func (s *Server) Engine() *qmatch.Engine { return s.engine }
@@ -242,6 +303,14 @@ type route struct {
 //	POST   /v1/schemas/{id}/match/{other}
 //	                         match two registered schemas → Report (cached)
 //	POST   /v1/search        query vs registry   → {"results": [...]}
+//	POST   /v1/jobs          submit an async MatchAll job → 202 + job id
+//	GET    /v1/jobs          list retained jobs  → {"jobs": [...]}
+//	GET    /v1/jobs/{id}     poll job status     → progress (+ per-shard
+//	                         detail with ?shards=1, trace with ?trace=1)
+//	GET    /v1/jobs/{id}/results
+//	                         stream completed cells as NDJSON, resumable
+//	                         with ?after=N
+//	DELETE /v1/jobs/{id}     cancel an active job / forget a finished one
 //	GET    /healthz          liveness            → 200 "ok" / 503 "draining"
 //	GET    /metrics          Prometheus text: Engine + HTTP registries
 func (s *Server) routes() []route {
@@ -255,6 +324,11 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/v1/schemas", "schema_list", s.handleListSchemas},
 		{http.MethodPost, "/v1/schemas/{id}/match/{other}", "schema_match", s.handleSchemaMatch},
 		{http.MethodPost, "/v1/search", "search", s.handleSearch},
+		{http.MethodPost, "/v1/jobs", "job_submit", s.handleSubmitJob},
+		{http.MethodGet, "/v1/jobs", "job_list", s.handleListJobs},
+		{http.MethodGet, "/v1/jobs/{id}", "job_status", s.handleJobStatus},
+		{http.MethodGet, "/v1/jobs/{id}/results", "job_results", s.handleJobResults},
+		{http.MethodDelete, "/v1/jobs/{id}", "job_cancel", s.handleCancelJob},
 		{http.MethodGet, "/healthz", "healthz", s.handleHealthz},
 		{http.MethodGet, "/metrics", "metrics", s.handleMetrics},
 	}
@@ -280,6 +354,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flusher — the NDJSON job-result stream flushes after every batch.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // activeRequestKey carries the request's debug-plane record through
 // context so handlers (the ?trace=1 export) can reach it.
