@@ -5,10 +5,12 @@
 //
 //	qmatch [flags] SOURCE TARGET
 //
-// SOURCE and TARGET are schema files — .xsd (XML Schema), .dtd (DTD) or
-// .xml (schema inferred from the instance document) — or, with -builtin,
-// names of built-in corpus schemas (PO1, PO2, Article, Book, DCMDItem,
-// DCMDOrd, PIR, PDB, XBenchCatalog, XBenchStore, Library, Human).
+// SOURCE and TARGET are schema files — .xsd (XML Schema), .dtd (DTD),
+// .xml (schema inferred from the instance document), .json (JSON
+// Schema) or .sql/.ddl (SQL CREATE TABLE statements); other extensions
+// are sniffed from the content — or, with -builtin, names of built-in
+// corpus schemas (PO1, PO2, Article, Book, DCMDItem, DCMDOrd, PIR, PDB,
+// XBenchCatalog, XBenchStore, Library, Human).
 //
 // Flags:
 //

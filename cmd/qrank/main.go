@@ -9,11 +9,13 @@
 //	qrank [flags] QUERY -dir DIRECTORY
 //
 // QUERY and every corpus entry are schema files: .xsd (XML Schema), .dtd
-// (DTD) or .xml (schema inferred from the instance document).
+// (DTD), .xml (schema inferred from the instance document), .json (JSON
+// Schema) or .sql/.ddl (SQL CREATE TABLE statements).
 //
 // Flags:
 //
-//	-dir DIRECTORY    rank every .xsd/.dtd/.xml file under the directory
+//	-dir DIRECTORY    rank every .xsd/.dtd/.xml/.json/.sql/.ddl file
+//	                  under the directory
 //	-algorithm NAME   hybrid (default), linguistic, structural or cupid
 //	-top N            print only the N best entries (default: all)
 //	-maps             also print the best entry's correspondences
@@ -158,7 +160,7 @@ func collectSchemas(root string) ([]string, error) {
 			return nil
 		}
 		switch strings.ToLower(filepath.Ext(path)) {
-		case ".xsd", ".dtd", ".xml":
+		case ".xsd", ".dtd", ".xml", ".json", ".sql", ".ddl":
 			out = append(out, path)
 		}
 		return nil

@@ -13,9 +13,11 @@
 //
 // Schema files parse by extension: .xsd (XML Schema), .dtd (DTD, first
 // declared element as root), .xml (schema inference from an instance
-// document). The -tokens flag compiles the artifact's prefilter
-// vocabulary with label tokens (see qmatch.WithLabelTokens); use it
-// consistently across a corpus and its queries.
+// document), .json (JSON Schema), .sql/.ddl (SQL DDL, database labeled
+// after the file); other extensions are sniffed from the content. The
+// -tokens flag compiles the artifact's prefilter vocabulary with label
+// tokens (see qmatch.WithLabelTokens); use it consistently across a
+// corpus and its queries.
 package main
 
 import (
@@ -23,8 +25,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"strings"
 
 	"qmatch"
 	"qmatch/internal/registry"
@@ -70,23 +70,10 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// loadSchema parses one schema file by extension.
-func loadSchema(path string) (*qmatch.Schema, error) {
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".xsd":
-		return qmatch.ParseSchemaFile(path)
-	case ".dtd":
-		return qmatch.ParseDTDFile(path, "")
-	case ".xml":
-		return qmatch.InferSchemaFile(path)
-	default:
-		return nil, fmt.Errorf("%s: unknown schema extension (want .xsd, .dtd or .xml)", path)
-	}
-}
-
-// compileFile loads and compiles one schema file.
+// compileFile loads and compiles one schema file; the format follows
+// the extension, falling back to content sniffing (qmatch.LoadSchema).
 func compileFile(path string, tokens bool) (*qmatch.CompiledSchema, error) {
-	s, err := loadSchema(path)
+	s, err := qmatch.LoadSchema(path)
 	if err != nil {
 		return nil, err
 	}

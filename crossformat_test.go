@@ -1,0 +1,145 @@
+// Golden tests for the heterogeneous ingestion front-ends: each pins the
+// parsed tree shape of a non-XML schema (JSON Schema, SQL DDL) and the
+// wire-format report of matching it against an XSD formulation of the
+// same domain. A diff means either a front-end changed how it maps onto
+// the tree model or the matcher changed what it finds across formats —
+// both deliberate events. Regenerate with
+// `go test -run CrossFormatGolden -update ./` and call the change out in
+// DESIGN.md §13.
+package qmatch_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qmatch"
+)
+
+const crossPOJSONSchema = `{
+  "title": "PurchaseOrder",
+  "type": "object",
+  "required": ["OrderNo", "Date"],
+  "properties": {
+    "OrderNo": {"type": "integer"},
+    "Date": {"type": "string", "format": "date"},
+    "DeliverTo": {"type": "string"},
+    "Lines": {
+      "type": "array",
+      "items": {
+        "type": "object",
+        "required": ["Qty"],
+        "properties": {
+          "Item": {"type": "string"},
+          "Qty": {"type": "integer"}
+        }
+      }
+    }
+  }
+}`
+
+const crossPOXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO"><xs:complexType><xs:sequence>
+    <xs:element name="OrderNo" type="xs:integer"/>
+    <xs:element name="PurchaseDate" type="xs:date"/>
+    <xs:element name="ShipTo" type="xs:string"/>
+    <xs:element name="Lines" minOccurs="0" maxOccurs="unbounded"><xs:complexType><xs:sequence>
+      <xs:element name="Item" type="xs:string" minOccurs="0"/>
+      <xs:element name="Qty" type="xs:integer"/>
+    </xs:sequence></xs:complexType></xs:element>
+  </xs:sequence></xs:complexType></xs:element></xs:schema>`
+
+const crossStoreDDL = `
+CREATE TABLE Orders (
+    OrderNo INT PRIMARY KEY,
+    PurchaseDate DATE NOT NULL,
+    ShipTo VARCHAR(200)
+);
+CREATE TABLE Lines (
+    OrderNo INT NOT NULL REFERENCES Orders (OrderNo),
+    Item VARCHAR(120),
+    Qty INT NOT NULL
+);`
+
+const crossStoreXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="store"><xs:complexType><xs:sequence>
+    <xs:element name="Orders" minOccurs="0" maxOccurs="unbounded"><xs:complexType><xs:sequence>
+      <xs:element name="OrderNo" type="xs:integer"/>
+      <xs:element name="PurchaseDate" type="xs:date"/>
+      <xs:element name="ShipTo" type="xs:string" minOccurs="0"/>
+    </xs:sequence></xs:complexType></xs:element>
+    <xs:element name="Lines" minOccurs="0" maxOccurs="unbounded"><xs:complexType><xs:sequence>
+      <xs:element name="OrderNo" type="xs:integer"/>
+      <xs:element name="Item" type="xs:string" minOccurs="0"/>
+      <xs:element name="Qty" type="xs:integer"/>
+    </xs:sequence></xs:complexType></xs:element>
+  </xs:sequence></xs:complexType></xs:element></xs:schema>`
+
+// goldenDoc is the pinned shape of one cross-format pair: both parsed
+// trees plus the match report in the stable lowercase wire format.
+type goldenDoc struct {
+	SourceDump string         `json:"sourceDump"`
+	TargetDump string         `json:"targetDump"`
+	Report     *qmatch.Report `json:"report"`
+}
+
+func checkCrossFormatGolden(t *testing.T, name string, src, tgt *qmatch.Schema) {
+	t.Helper()
+	doc := goldenDoc{
+		SourceDump: src.Dump(),
+		TargetDump: tgt.Dump(),
+		Report:     qmatch.Match(src, tgt),
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cross-format shape drifted from %s (run with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestCrossFormatGoldenJSONSchema pins the JSON-Schema front-end's tree
+// mapping (required→minOccurs, array items→unbounded, format→temporal
+// datatype) and the report of matching it against an XSD peer.
+func TestCrossFormatGoldenJSONSchema(t *testing.T) {
+	src, err := qmatch.ParseJSONSchemaString(crossPOJSONSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := qmatch.ParseSchemaString(crossPOXSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCrossFormatGolden(t, "jsonschema_golden.json", src, tgt)
+}
+
+// TestCrossFormatGoldenDDL pins the DDL front-end's db→table→column
+// mapping (tables repeated, NOT NULL/PK→minOccurs 1, PK/FK→use
+// key/keyref) and the report of matching it against an XSD peer.
+func TestCrossFormatGoldenDDL(t *testing.T) {
+	src, err := qmatch.ParseDDLString(crossStoreDDL, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := qmatch.ParseSchemaString(crossStoreXSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCrossFormatGolden(t, "ddl_golden.json", src, tgt)
+}

@@ -1,0 +1,65 @@
+package jsonschema
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qmatch/internal/xmltree"
+)
+
+// The JSON Schema parser must be total: random inputs error or parse,
+// never panic.
+func TestParseNeverPanics(t *testing.T) {
+	prop := func(junk string) bool {
+		_, _ = ParseString(junk)
+		_, _ = ParseString(`{"type":"object","properties":{"x":` + junk + `}}`)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzParseJSONSchema drives the parser with arbitrary documents. The
+// parser must stay total, any accepted tree must be well-formed
+// (non-empty labels, parent/level consistency), and node counts must
+// respect the expansion bound.
+func FuzzParseJSONSchema(f *testing.F) {
+	f.Add(poSchema)
+	f.Add(`{"title":"T","type":"object","properties":{"a":{"type":"string"}}}`)
+	f.Add(`{"type":"array","items":{"type":"integer"}}`)
+	f.Add(`{"properties":{"left":{"$ref":"#/definitions/n"}},"definitions":{"n":{"properties":{"next":{"$ref":"#/definitions/n"}}}}}`)
+	f.Add(`{"properties":{"v":{"oneOf":[{"properties":{"a":{"type":"string"}}},{"type":"integer"}]}}}`)
+	f.Add(`{"type":"object","required":["a"],"properties":{"a":{"enum":[1,2]},"b":{"const":true},"c":{"type":["string","null"]}}}`)
+	f.Add(`not json`)
+	f.Add(`{"properties":`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tree, err := ParseString(data)
+		if err != nil {
+			return
+		}
+		if tree == nil {
+			t.Fatalf("nil tree with nil error for %q", data)
+		}
+		size := 0
+		ok := true
+		tree.Walk(func(n *xmltree.Node) bool {
+			size++
+			if n.Label == "" {
+				ok = false
+			}
+			for _, c := range n.Children {
+				if c.Parent() != n {
+					ok = false
+				}
+			}
+			return ok
+		})
+		if !ok {
+			t.Fatalf("parsed tree is malformed for %q:\n%s", data, tree.Dump())
+		}
+		if size > maxNodes {
+			t.Fatalf("tree grew past the node bound: %d nodes", size)
+		}
+	})
+}

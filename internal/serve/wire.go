@@ -18,13 +18,16 @@ import (
 
 // SchemaInput is one schema shipped inside a request body.
 type SchemaInput struct {
-	// Format selects the parser: "xsd" (default), "dtd" or "xml"
-	// (schema inference from an instance document).
+	// Format selects the parser: "xsd" (default), "dtd", "xml" (schema
+	// inference from an instance document), "jsonschema" (alias
+	// "json"), "ddl" (alias "sql"), or "auto" (content sniffing via
+	// qmatch.DetectFormat).
 	Format string `json:"format,omitempty"`
 	// Data is the schema document text.
 	Data string `json:"data"`
-	// Root names the DTD root element ("" = first declared element).
-	// Ignored for the other formats.
+	// Root names the DTD root element ("" = first declared element) or
+	// the DDL database label ("" = "db"). Ignored for the other
+	// formats.
 	Root string `json:"root,omitempty"`
 }
 
@@ -33,28 +36,39 @@ func (in *SchemaInput) parse(role string) (*qmatch.Schema, error) {
 	if in == nil || in.Data == "" {
 		return nil, fmt.Errorf("missing %s schema data", role)
 	}
+	var (
+		s   *qmatch.Schema
+		err error
+	)
 	switch strings.ToLower(in.Format) {
 	case "", "xsd":
-		s, err := qmatch.ParseSchemaString(in.Data)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", role, err)
-		}
-		return s, nil
+		s, err = qmatch.ParseSchemaString(in.Data)
 	case "dtd":
-		s, err := qmatch.ParseDTDString(in.Data, in.Root)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", role, err)
-		}
-		return s, nil
+		s, err = qmatch.ParseDTDString(in.Data, in.Root)
 	case "xml":
-		s, err := qmatch.InferSchemaString(in.Data)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", role, err)
+		s, err = qmatch.InferSchemaString(in.Data)
+	case "jsonschema", "json":
+		s, err = qmatch.ParseJSONSchemaString(in.Data)
+	case "ddl", "sql":
+		s, err = qmatch.ParseDDLString(in.Data, in.Root)
+	case "auto":
+		// Unrecognized content surfaces qmatch.ErrUnknownFormat with
+		// the sniffed prefix — the 400 body names what was seen.
+		var format qmatch.Format
+		format, err = qmatch.DetectFormat([]byte(in.Data))
+		if err == nil && (format == qmatch.FormatDTD || format == qmatch.FormatDDL) {
+			return (&SchemaInput{Format: string(format), Data: in.Data, Root: in.Root}).parse(role)
 		}
-		return s, nil
+		if err == nil {
+			return (&SchemaInput{Format: string(format), Data: in.Data}).parse(role)
+		}
 	default:
-		return nil, fmt.Errorf("%s: unknown schema format %q (want xsd, dtd or xml)", role, in.Format)
+		return nil, fmt.Errorf("%s: unknown schema format %q (want xsd, dtd, xml, jsonschema, ddl or auto)", role, in.Format)
 	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", role, err)
+	}
+	return s, nil
 }
 
 func parseAll(ins []SchemaInput, role string) ([]*qmatch.Schema, error) {
